@@ -1,0 +1,267 @@
+//! [`NybbleAddr`]: a 128-bit IPv6 address addressed by nybble.
+
+use crate::error::AddrParseError;
+use crate::nybble::{count_nonzero_nybbles, NYBBLE_COUNT};
+use core::net::Ipv6Addr;
+use core::str::FromStr;
+
+/// An IPv6 address viewed as 32 hexadecimal nybbles.
+///
+/// The paper's distance metric, clustering ranges, and the nybble tree all
+/// operate at nybble (4-bit) granularity (§5.2: "addressing schemes are
+/// potentially allocated at this specificity"). Internally the address is a
+/// single `u128` in network order; nybble `0` is the most significant digit
+/// (leftmost in text form) and nybble `31` the least significant.
+///
+/// ```
+/// use sixgen_addr::NybbleAddr;
+/// let a: NybbleAddr = "2001:db8::1".parse().unwrap();
+/// assert_eq!(a.nybble(0), 0x2);
+/// assert_eq!(a.nybble(3), 0x1);
+/// assert_eq!(a.nybble(31), 0x1);
+/// assert_eq!(a.to_string(), "2001:db8::1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NybbleAddr(u128);
+
+impl NybbleAddr {
+    /// The all-zeros address `::`.
+    pub const UNSPECIFIED: NybbleAddr = NybbleAddr(0);
+
+    /// Constructs from the raw 128-bit value (network order: the first text
+    /// group is the most significant 16 bits).
+    #[inline]
+    pub const fn from_bits(bits: u128) -> NybbleAddr {
+        NybbleAddr(bits)
+    }
+
+    /// The raw 128-bit value.
+    #[inline]
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// The shift amount that places nybble `index` in the low 4 bits.
+    #[inline]
+    pub(crate) const fn shift(index: usize) -> u32 {
+        ((NYBBLE_COUNT - 1 - index) * 4) as u32
+    }
+
+    /// Reads nybble `index` (0 = most significant).
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn nybble(self, index: usize) -> u8 {
+        assert!(index < NYBBLE_COUNT, "nybble index out of range: {index}");
+        ((self.0 >> Self::shift(index)) & 0xF) as u8
+    }
+
+    /// Returns a copy with nybble `index` set to `value`.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32` or `value > 0xF`.
+    #[inline]
+    pub fn with_nybble(self, index: usize, value: u8) -> NybbleAddr {
+        assert!(index < NYBBLE_COUNT, "nybble index out of range: {index}");
+        assert!(value <= 0xF, "nybble value out of range: {value}");
+        let sh = Self::shift(index);
+        NybbleAddr((self.0 & !(0xFu128 << sh)) | ((value as u128) << sh))
+    }
+
+    /// The 32 nybbles in order, most significant first.
+    pub fn nybbles(self) -> [u8; NYBBLE_COUNT] {
+        let mut out = [0u8; NYBBLE_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = ((self.0 >> Self::shift(i)) & 0xF) as u8;
+        }
+        out
+    }
+
+    /// Builds an address from 32 nybbles, most significant first.
+    ///
+    /// # Panics
+    /// Panics if any nybble exceeds `0xF`.
+    pub fn from_nybbles(nybbles: [u8; NYBBLE_COUNT]) -> NybbleAddr {
+        let mut bits = 0u128;
+        for (i, &n) in nybbles.iter().enumerate() {
+            assert!(n <= 0xF, "nybble value out of range: {n}");
+            bits |= (n as u128) << Self::shift(i);
+        }
+        NybbleAddr(bits)
+    }
+
+    /// Nybble-level Hamming distance: the number of nybble positions at
+    /// which the two addresses differ (§5.2 of the paper).
+    ///
+    /// ```
+    /// use sixgen_addr::NybbleAddr;
+    /// let a: NybbleAddr = "2001:db8::58".parse().unwrap();
+    /// let b: NybbleAddr = "2001:db8::51".parse().unwrap();
+    /// assert_eq!(a.hamming(b), 1);
+    /// ```
+    #[inline]
+    pub fn hamming(self, other: NybbleAddr) -> u32 {
+        count_nonzero_nybbles(self.0 ^ other.0)
+    }
+
+    /// Bit-level Hamming distance, provided for the §5.2 comparison between
+    /// nybble- and bit-granularity similarity.
+    #[inline]
+    pub fn hamming_bits(self, other: NybbleAddr) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+}
+
+impl From<Ipv6Addr> for NybbleAddr {
+    fn from(a: Ipv6Addr) -> Self {
+        NybbleAddr(u128::from(a))
+    }
+}
+
+impl From<NybbleAddr> for Ipv6Addr {
+    fn from(a: NybbleAddr) -> Self {
+        Ipv6Addr::from(a.0)
+    }
+}
+
+impl From<u128> for NybbleAddr {
+    fn from(bits: u128) -> Self {
+        NybbleAddr(bits)
+    }
+}
+
+impl FromStr for NybbleAddr {
+    type Err = AddrParseError;
+
+    /// Parses RFC 4291 text (including `::` compression and embedded IPv4
+    /// dotted-quad forms), delegating to the standard library parser.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ipv6Addr::from_str(s)
+            .map(NybbleAddr::from)
+            .map_err(|_| AddrParseError::invalid_address(s))
+    }
+}
+
+impl core::fmt::Display for NybbleAddr {
+    /// Formats in RFC 5952 canonical form (lowercase, `::` compression of
+    /// the longest zero-group run), via the standard library.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        Ipv6Addr::from(*self).fmt(f)
+    }
+}
+
+impl core::fmt::LowerHex for NybbleAddr {
+    /// Formats as 32 contiguous hex digits (no colons), useful in logs and
+    /// fixed-width dataset files.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn nybble_indexing_is_msb_first() {
+        let addr = a("2001:0db8::11:2222");
+        assert_eq!(addr.nybble(0), 0x2);
+        assert_eq!(addr.nybble(1), 0x0);
+        assert_eq!(addr.nybble(4), 0x0);
+        assert_eq!(addr.nybble(5), 0xd);
+        assert_eq!(addr.nybble(6), 0xb);
+        assert_eq!(addr.nybble(7), 0x8);
+        assert_eq!(addr.nybble(31), 0x2);
+        assert_eq!(addr.nybble(26), 0x1);
+    }
+
+    #[test]
+    fn with_nybble_roundtrip() {
+        let addr = a("::");
+        let addr = addr.with_nybble(0, 0xf).with_nybble(31, 0x3);
+        assert_eq!(addr.to_string(), "f000::3");
+        assert_eq!(addr.with_nybble(0, 0).to_string(), "::3");
+    }
+
+    #[test]
+    fn nybbles_array_roundtrip() {
+        let addr = a("2001:db8:85a3::8a2e:370:7334");
+        assert_eq!(NybbleAddr::from_nybbles(addr.nybbles()), addr);
+    }
+
+    #[test]
+    fn hamming_examples_from_paper() {
+        // §5.2: distance(2001:db8::58, 2001:db8::51) == 1.
+        assert_eq!(a("2001:db8::58").hamming(a("2001:db8::51")), 1);
+        // §5.2's point: pairs with equal *bit* distance can differ in
+        // intuitive similarity, which nybble distance captures. (The paper's
+        // literal first pair, 2::20 vs 201::, is actually 4 bits apart — we
+        // use 2::20 vs 202::, which is 2 bits / 2 nybbles as intended.)
+        assert_eq!(a("2::20").hamming_bits(a("202::")), 2);
+        assert_eq!(a("2::20").hamming(a("202::")), 2);
+        assert_eq!(a("2::").hamming_bits(a("2::3")), 2);
+        assert_eq!(a("2::").hamming(a("2::3")), 1);
+    }
+
+    #[test]
+    fn hamming_is_metric_like() {
+        let x = a("2001:db8::1");
+        let y = a("2001:db8::ff");
+        let z = a("fe80::1");
+        assert_eq!(x.hamming(x), 0);
+        assert_eq!(x.hamming(y), y.hamming(x));
+        assert!(x.hamming(z) <= x.hamming(y) + y.hamming(z));
+        assert_eq!(a("::").hamming(a("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")), 32);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in [
+            "::",
+            "::1",
+            "2001:db8::11:2222",
+            "fe80::1ff:fe23:4567:890a",
+            "2001:db8:85a3:8d3:1319:8a2e:370:7348",
+        ] {
+            assert_eq!(a(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_uncompressed_and_uppercase() {
+        assert_eq!(
+            a("2001:0DB8:0000:0000:0000:0000:0011:2222"),
+            a("2001:db8::11:2222")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("2001:db8::1::2".parse::<NybbleAddr>().is_err());
+        assert!("not an address".parse::<NybbleAddr>().is_err());
+        assert!("1.2.3.4".parse::<NybbleAddr>().is_err());
+        assert!("".parse::<NybbleAddr>().is_err());
+    }
+
+    #[test]
+    fn ipv6addr_conversions() {
+        let addr = a("2001:db8::1");
+        let std6: Ipv6Addr = addr.into();
+        assert_eq!(std6.to_string(), "2001:db8::1");
+        assert_eq!(NybbleAddr::from(std6), addr);
+    }
+
+    #[test]
+    fn lower_hex_is_fixed_width() {
+        assert_eq!(
+            format!("{:x}", a("2001:db8::1")),
+            "20010db8000000000000000000000001"
+        );
+        assert_eq!(format!("{:x}", a("::")), "0".repeat(32));
+    }
+}

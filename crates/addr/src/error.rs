@@ -1,0 +1,84 @@
+//! Error types for address, range, and prefix parsing.
+
+/// Why a textual address, range, or prefix failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Not a valid IPv6 address.
+    InvalidAddress,
+    /// A group held more than four nybble tokens.
+    GroupTooLong,
+    /// Wrong number of groups / `::` usage.
+    BadStructure,
+    /// A character that is not a hex digit, `?`, or a bracket set.
+    InvalidCharacter(char),
+    /// A malformed `[...]` bounded-set token.
+    InvalidSet,
+    /// An empty `[...]` set (no value would be admitted).
+    EmptySet,
+    /// A prefix length outside `0..=128` or malformed `/len` suffix.
+    InvalidPrefixLength,
+}
+
+/// Error returned when parsing a [`NybbleAddr`](crate::NybbleAddr),
+/// [`Range`](crate::Range), or [`Prefix`](crate::Prefix) from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError {
+    kind: ParseErrorKind,
+    input: String,
+}
+
+impl AddrParseError {
+    pub(crate) fn new(kind: ParseErrorKind, input: &str) -> Self {
+        AddrParseError {
+            kind,
+            input: input.to_owned(),
+        }
+    }
+
+    pub(crate) fn invalid_address(input: &str) -> Self {
+        Self::new(ParseErrorKind::InvalidAddress, input)
+    }
+
+    /// The failure category.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+
+    /// The offending input text.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl core::fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let what = match &self.kind {
+            ParseErrorKind::InvalidAddress => "invalid IPv6 address".to_owned(),
+            ParseErrorKind::GroupTooLong => "group longer than four nybbles".to_owned(),
+            ParseErrorKind::BadStructure => "malformed group structure".to_owned(),
+            ParseErrorKind::InvalidCharacter(c) => format!("invalid character {c:?}"),
+            ParseErrorKind::InvalidSet => "malformed [..] nybble set".to_owned(),
+            ParseErrorKind::EmptySet => "empty [..] nybble set".to_owned(),
+            ParseErrorKind::InvalidPrefixLength => "invalid prefix length".to_owned(),
+        };
+        write!(f, "{what} in {:?}", self.input)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_input_and_reason() {
+        let e = AddrParseError::new(ParseErrorKind::InvalidCharacter('z'), "2001:zb8::");
+        let msg = e.to_string();
+        assert!(msg.contains("'z'"), "{msg}");
+        assert!(msg.contains("2001:zb8::"), "{msg}");
+        assert_eq!(e.kind(), &ParseErrorKind::InvalidCharacter('z'));
+        assert_eq!(e.input(), "2001:zb8::");
+    }
+}

@@ -1,0 +1,133 @@
+//! Nybble-level IPv6 address model for target generation algorithms.
+//!
+//! This crate provides the address-manipulation substrate used by the 6Gen
+//! reproduction (Murdock et al., *Target Generation for Internet-wide IPv6
+//! Scanning*, IMC 2017):
+//!
+//! * [`NybbleAddr`] — a 128-bit IPv6 address viewed as 32 hexadecimal
+//!   *nybbles* (4-bit digits), the granularity at which 6Gen reasons about
+//!   address similarity.
+//! * [`NybbleSet`] — the set of values a single nybble position may take,
+//!   from a fixed digit through a bounded set (`[1-2,8-a]`) up to the full
+//!   wildcard `?`.
+//! * [`Range`] — a rectangular region of IPv6 address space: one
+//!   [`NybbleSet`] per nybble position. Ranges support exact size
+//!   computation, membership tests, nybble-level Hamming distance,
+//!   expansion to cover new addresses (both *loose* and *tight*, §5.3 of the
+//!   paper), enumeration, and uniform random sampling.
+//! * [`Prefix`] — a bit-granularity CIDR prefix, used by the routing
+//!   substrate and by /96-granularity alias detection.
+//! * [`NybbleTree`] — the 16-ary trie of §5.5 of the paper, supporting
+//!   "count/iterate the seeds inside this range" queries without scanning
+//!   the full seed set.
+//! * [`U256`] — minimal 256-bit unsigned arithmetic so that seed densities
+//!   (`count / range size`, with range sizes up to 2¹²⁸) can be compared
+//!   *exactly* by cross-multiplication rather than through lossy floats.
+//!
+//! # Nybble indexing
+//!
+//! Nybble positions are indexed `0..=31` from the **most significant**
+//! (leftmost in the textual form) to the least significant. The paper's
+//! figures use 1-based indices; add one when comparing plots.
+//!
+//! # Textual syntax
+//!
+//! Plain addresses use RFC 4291 / RFC 5952 notation. Ranges extend it with
+//! two wildcard forms inside groups, following the paper's notation:
+//!
+//! * `?` — a fully dynamic nybble (any of the 16 values);
+//! * `[1-2,8-a]` — a bounded nybble that may take any listed value or
+//!   value-range.
+//!
+//! ```
+//! use sixgen_addr::{NybbleAddr, Range};
+//!
+//! let a: NybbleAddr = "2001:db8::11:2222".parse().unwrap();
+//! let r: Range = "2001:db8::?:100?".parse().unwrap();
+//! assert_eq!(r.size(), 256);
+//! assert!(r.contains("2001:db8::5:1000".parse().unwrap()));
+//! assert_eq!(a.hamming("2001:db8::11:2229".parse().unwrap()), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod error;
+mod nybble;
+mod parse;
+mod prefix;
+mod range;
+mod tree;
+mod u256;
+
+pub use address::NybbleAddr;
+pub use error::{AddrParseError, ParseErrorKind};
+pub use nybble::{NybbleSet, NYBBLE_COUNT};
+pub use prefix::Prefix;
+pub use range::{Range, RangeIter, RangeSampler};
+pub use tree::NybbleTree;
+pub use u256::U256;
+
+/// Compares two densities `a_count / a_size` and `b_count / b_size` exactly.
+///
+/// Seed density (cluster seed-set size divided by cluster range size, §5.4 of
+/// the paper) drives 6Gen's greedy growth choice. Range sizes reach 2¹²⁸, so
+/// the comparison cross-multiplies into 256-bit integers instead of rounding
+/// through `f64`.
+///
+/// Both sizes must be non-zero (a range always contains at least one
+/// address).
+///
+/// ```
+/// use std::cmp::Ordering;
+/// // 3/8 < 1/2 because 3·2 < 1·8.
+/// assert_eq!(sixgen_addr::compare_density(3, 8, 1, 2), Ordering::Less);
+/// ```
+pub fn compare_density(
+    a_count: u64,
+    a_size: u128,
+    b_count: u64,
+    b_size: u128,
+) -> core::cmp::Ordering {
+    debug_assert!(a_size > 0 && b_size > 0, "range sizes are always positive");
+    let lhs = U256::mul_u128(a_count as u128, b_size);
+    let rhs = U256::mul_u128(b_count as u128, a_size);
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn density_comparison_basic() {
+        assert_eq!(compare_density(1, 2, 1, 2), Ordering::Equal);
+        assert_eq!(compare_density(1, 2, 1, 4), Ordering::Greater);
+        assert_eq!(compare_density(1, 4, 1, 2), Ordering::Less);
+        assert_eq!(compare_density(3, 4, 1, 2), Ordering::Greater);
+    }
+
+    #[test]
+    fn density_comparison_huge_sizes() {
+        // 10 seeds in 2^64 addresses is denser than 1000 seeds in 2^127.
+        let small = 1u128 << 64;
+        let huge = 1u128 << 127;
+        assert_eq!(compare_density(10, small, 1000, huge), Ordering::Greater);
+    }
+
+    #[test]
+    fn density_comparison_would_overflow_u128() {
+        // count * size overflows u128 but the comparison must stay exact:
+        // (2^63)/(2^127) == (2^62)/(2^126) exactly.
+        assert_eq!(
+            compare_density(1 << 63, 1 << 127, 1 << 62, 1 << 126),
+            Ordering::Equal
+        );
+        assert_eq!(
+            compare_density((1 << 63) + 1, 1 << 127, 1 << 62, 1 << 126),
+            Ordering::Greater
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! Nybble-granularity primitives: constants, bit-trick helpers over packed
+//! `u128` nybble vectors, and [`NybbleSet`].
+
+/// Number of nybbles (4-bit hexadecimal digits) in an IPv6 address.
+pub const NYBBLE_COUNT: usize = 32;
+
+/// A `u128` with the lowest bit of every nybble set (`0x1111…1`).
+pub(crate) const NYBBLE_LSB: u128 = 0x1111_1111_1111_1111_1111_1111_1111_1111;
+
+/// Folds each nybble of `x` down to its lowest bit: the result has bit
+/// `4*k` set iff nybble `k` of `x` is non-zero, and all other bits clear.
+#[inline]
+pub(crate) fn nybble_nonzero_lsb(x: u128) -> u128 {
+    let y = x | (x >> 1);
+    let y = y | (y >> 2);
+    y & NYBBLE_LSB
+}
+
+/// Counts the non-zero nybbles of `x`.
+///
+/// `count_nonzero_nybbles(a ^ b)` is the nybble-level Hamming distance
+/// between two packed addresses (§5.2 of the paper).
+#[inline]
+pub(crate) fn count_nonzero_nybbles(x: u128) -> u32 {
+    nybble_nonzero_lsb(x).count_ones()
+}
+
+/// Expands each non-zero nybble of `x` to `0xF` (and zero nybbles stay `0`),
+/// producing a per-nybble mask.
+#[inline]
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn nybble_nonzero_mask(x: u128) -> u128 {
+    nybble_nonzero_lsb(x) * 0xF
+}
+
+/// The set of hexadecimal values a single nybble position may take.
+///
+/// Represented as a 16-bit bitmask: bit `v` set means digit `v` is allowed.
+/// A [`Range`](crate::Range) holds one `NybbleSet` per position. The paper's
+/// notations map as:
+///
+/// * a concrete digit `a` → [`NybbleSet::single`]`(0xa)`,
+/// * the wildcard `?` → [`NybbleSet::FULL`],
+/// * a bounded wildcard `[1-2,8-a]` → the union of those values.
+///
+/// Invariant maintained by `Range`: a set inside a range is never empty
+/// (every position admits at least one value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NybbleSet(u16);
+
+impl NybbleSet {
+    /// The empty set. Never appears inside a valid [`Range`](crate::Range),
+    /// but useful as an accumulator.
+    pub const EMPTY: NybbleSet = NybbleSet(0);
+    /// The full wildcard `?`: all 16 values allowed.
+    pub const FULL: NybbleSet = NybbleSet(0xFFFF);
+
+    /// A set containing exactly one value.
+    ///
+    /// # Panics
+    /// Panics if `value > 0xF`.
+    #[inline]
+    pub fn single(value: u8) -> NybbleSet {
+        assert!(value <= 0xF, "nybble value out of range: {value}");
+        NybbleSet(1 << value)
+    }
+
+    /// Builds a set from a raw 16-bit mask (bit `v` ⇒ value `v` allowed).
+    #[inline]
+    pub const fn from_mask(mask: u16) -> NybbleSet {
+        NybbleSet(mask)
+    }
+
+    /// The raw 16-bit mask.
+    #[inline]
+    pub const fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Number of values in the set.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if no value is allowed.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if every value `0..=0xF` is allowed (the `?` wildcard).
+    #[inline]
+    pub const fn is_full(self) -> bool {
+        self.0 == 0xFFFF
+    }
+
+    /// `true` if exactly one value is allowed (a fixed nybble).
+    #[inline]
+    pub const fn is_single(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// If the set is a single value, returns it.
+    #[inline]
+    pub fn as_single(self) -> Option<u8> {
+        self.is_single().then(|| self.0.trailing_zeros() as u8)
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `value > 0xF`.
+    #[inline]
+    pub fn contains(self, value: u8) -> bool {
+        assert!(value <= 0xF, "nybble value out of range: {value}");
+        self.0 & (1 << value) != 0
+    }
+
+    /// Returns the set with `value` inserted.
+    #[inline]
+    pub fn insert(self, value: u8) -> NybbleSet {
+        assert!(value <= 0xF, "nybble value out of range: {value}");
+        NybbleSet(self.0 | (1 << value))
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: NybbleSet) -> NybbleSet {
+        NybbleSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: NybbleSet) -> NybbleSet {
+        NybbleSet(self.0 & other.0)
+    }
+
+    /// `true` if `self` is a (non-strict) subset of `other`.
+    #[inline]
+    pub const fn is_subset(self, other: NybbleSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The smallest allowed value, if the set is non-empty.
+    #[inline]
+    pub fn min_value(self) -> Option<u8> {
+        (!self.is_empty()).then(|| self.0.trailing_zeros() as u8)
+    }
+
+    /// Iterates the allowed values in increasing order.
+    pub fn values(self) -> impl Iterator<Item = u8> + Clone {
+        (0u8..16).filter(move |&v| self.0 & (1 << v) != 0)
+    }
+
+    /// The `index`-th allowed value in increasing order (0-based).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn nth_value(self, index: u32) -> u8 {
+        let mut remaining = index;
+        let mut bits = self.0;
+        loop {
+            assert!(bits != 0, "nth_value index out of range");
+            let v = bits.trailing_zeros() as u8;
+            if remaining == 0 {
+                return v;
+            }
+            remaining -= 1;
+            bits &= bits - 1;
+        }
+    }
+
+    /// The 0-based rank of `value` among the allowed values, if present.
+    #[inline]
+    pub fn rank_of(self, value: u8) -> Option<u32> {
+        if !self.contains(value) {
+            return None;
+        }
+        Some((self.0 & ((1u16 << value) - 1)).count_ones())
+    }
+}
+
+impl core::fmt::Display for NybbleSet {
+    /// Formats as the range syntax: a bare digit for singles, `?` for the
+    /// full wildcard, and `[..]` grouping runs (e.g. `[1-2,8-a]`) otherwise.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(v) = self.as_single() {
+            return write!(f, "{:x}", v);
+        }
+        if self.is_full() {
+            return f.write_str("?");
+        }
+        if self.is_empty() {
+            return f.write_str("[]");
+        }
+        f.write_str("[")?;
+        let mut first = true;
+        let mut v = 0u8;
+        while v < 16 {
+            if self.contains(v) {
+                let start = v;
+                while v + 1 < 16 && self.contains(v + 1) {
+                    v += 1;
+                }
+                if !first {
+                    f.write_str(",")?;
+                }
+                first = false;
+                if start == v {
+                    write!(f, "{:x}", start)?;
+                } else {
+                    write!(f, "{:x}-{:x}", start, v)?;
+                }
+            }
+            v += 1;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_tricks_count_nybbles() {
+        assert_eq!(count_nonzero_nybbles(0), 0);
+        assert_eq!(count_nonzero_nybbles(1), 1);
+        assert_eq!(count_nonzero_nybbles(0xF0), 1);
+        assert_eq!(count_nonzero_nybbles(0xF1), 2);
+        assert_eq!(count_nonzero_nybbles(u128::MAX), 32);
+        assert_eq!(count_nonzero_nybbles(0x8000 << 112), 1);
+    }
+
+    #[test]
+    fn bit_tricks_nonzero_mask() {
+        assert_eq!(nybble_nonzero_mask(0), 0);
+        assert_eq!(nybble_nonzero_mask(0x102), 0xF0F);
+        assert_eq!(nybble_nonzero_mask(0x800), 0xF00);
+        assert_eq!(nybble_nonzero_mask(u128::MAX), u128::MAX);
+    }
+
+    #[test]
+    fn bit_tricks_match_naive() {
+        // Cross-check the folds against a per-nybble loop on varied values.
+        let samples = [
+            0u128,
+            1,
+            u128::MAX,
+            0x2001_0db8_0000_0000_0000_0000_0011_2222,
+            0x8421_8421_8421_8421_8421_8421_8421_8421,
+        ];
+        for &x in &samples {
+            let mut count = 0;
+            let mut mask = 0u128;
+            for k in 0..32 {
+                let nyb = (x >> (4 * k)) & 0xF;
+                if nyb != 0 {
+                    count += 1;
+                    mask |= 0xFu128 << (4 * k);
+                }
+            }
+            assert_eq!(count_nonzero_nybbles(x), count, "count for {x:#x}");
+            assert_eq!(nybble_nonzero_mask(x), mask, "mask for {x:#x}");
+        }
+    }
+
+    #[test]
+    fn set_basics() {
+        let s = NybbleSet::single(0xa);
+        assert!(s.contains(0xa));
+        assert!(!s.contains(0xb));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.as_single(), Some(0xa));
+        assert!(NybbleSet::FULL.is_full());
+        assert_eq!(NybbleSet::FULL.len(), 16);
+        assert!(NybbleSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NybbleSet::single(1).insert(2).insert(8);
+        let b = NybbleSet::single(2).insert(9);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), NybbleSet::single(2));
+        assert!(NybbleSet::single(2).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(a.is_subset(NybbleSet::FULL));
+    }
+
+    #[test]
+    fn set_value_iteration_and_rank() {
+        let s = NybbleSet::single(3).insert(7).insert(0xf);
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![3, 7, 0xf]);
+        assert_eq!(s.nth_value(0), 3);
+        assert_eq!(s.nth_value(2), 0xf);
+        assert_eq!(s.rank_of(7), Some(1));
+        assert_eq!(s.rank_of(4), None);
+        assert_eq!(s.min_value(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "nth_value index out of range")]
+    fn nth_value_out_of_range_panics() {
+        NybbleSet::single(3).nth_value(1);
+    }
+
+    #[test]
+    fn set_display_forms() {
+        assert_eq!(NybbleSet::single(0xb).to_string(), "b");
+        assert_eq!(NybbleSet::FULL.to_string(), "?");
+        let s = NybbleSet::single(1).insert(2).insert(8).insert(9).insert(0xa);
+        assert_eq!(s.to_string(), "[1-2,8-a]");
+        let s = NybbleSet::single(0).insert(5);
+        assert_eq!(s.to_string(), "[0,5]");
+    }
+}

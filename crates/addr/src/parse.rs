@@ -1,0 +1,250 @@
+//! Textual parser for [`Range`] syntax: RFC 4291 group notation extended
+//! with `?` wildcards and `[1-2,8-a]` bounded nybble sets (the paper's §2
+//! and §5.3 notation).
+
+use crate::error::{AddrParseError, ParseErrorKind};
+use crate::nybble::{NybbleSet, NYBBLE_COUNT};
+use crate::range::Range;
+
+/// Parses a range such as `2001:db8::?:100?` or `2001:db8::[1-2,8-a]`.
+///
+/// Plain addresses are valid ranges of size one. Embedded IPv4 dotted-quad
+/// notation is not supported in ranges (parse a [`NybbleAddr`] instead and
+/// convert with [`Range::from_address`]).
+///
+/// [`NybbleAddr`]: crate::NybbleAddr
+pub(crate) fn parse_range(s: &str) -> Result<Range, AddrParseError> {
+    let err = |kind: ParseErrorKind| AddrParseError::new(kind, s);
+    if s.is_empty() {
+        return Err(err(ParseErrorKind::BadStructure));
+    }
+
+    // Split around a single optional "::".
+    let mut halves = s.splitn(3, "::");
+    let left = halves.next().unwrap_or("");
+    let right = halves.next();
+    if halves.next().is_some() {
+        // More than one "::".
+        return Err(err(ParseErrorKind::BadStructure));
+    }
+
+    let split_groups = |part: &str| -> Result<Vec<Vec<NybbleSet>>, AddrParseError> {
+        if part.is_empty() {
+            return Ok(Vec::new());
+        }
+        part.split(':')
+            .map(|g| parse_group(g, s))
+            .collect::<Result<Vec<_>, _>>()
+    };
+
+    let left_groups = split_groups(left)?;
+    let groups: Vec<Vec<NybbleSet>> = match right {
+        None => {
+            if left_groups.len() != 8 {
+                return Err(err(ParseErrorKind::BadStructure));
+            }
+            left_groups
+        }
+        Some(right) => {
+            let right_groups = split_groups(right)?;
+            let known = left_groups.len() + right_groups.len();
+            if known > 7 {
+                return Err(err(ParseErrorKind::BadStructure));
+            }
+            let zeros = (0..8 - known).map(|_| vec![NybbleSet::single(0); 4]);
+            left_groups
+                .into_iter()
+                .chain(zeros)
+                .chain(right_groups)
+                .collect()
+        }
+    };
+
+    let mut sets = [NybbleSet::EMPTY; NYBBLE_COUNT];
+    for (g, group) in groups.iter().enumerate() {
+        // Pad with leading zeros to 4 tokens, exactly like hex groups.
+        let pad = 4 - group.len();
+        for k in 0..pad {
+            sets[g * 4 + k] = NybbleSet::single(0);
+        }
+        for (k, &set) in group.iter().enumerate() {
+            sets[g * 4 + pad + k] = set;
+        }
+    }
+    Ok(Range::from_sets(sets))
+}
+
+/// Parses one colon-separated group into 1–4 nybble tokens.
+fn parse_group(group: &str, whole: &str) -> Result<Vec<NybbleSet>, AddrParseError> {
+    let err = |kind: ParseErrorKind| AddrParseError::new(kind, whole);
+    if group.is_empty() {
+        return Err(err(ParseErrorKind::BadStructure));
+    }
+    let mut tokens = Vec::with_capacity(4);
+    let mut chars = group.chars();
+    while let Some(c) = chars.next() {
+        let token = match c {
+            '?' => NybbleSet::FULL,
+            '[' => {
+                let mut body = String::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(c) => body.push(c),
+                        None => return Err(err(ParseErrorKind::InvalidSet)),
+                    }
+                }
+                parse_set_body(&body, whole)?
+            }
+            c => match c.to_digit(16) {
+                Some(v) => NybbleSet::single(v as u8),
+                None => return Err(err(ParseErrorKind::InvalidCharacter(c))),
+            },
+        };
+        if tokens.len() == 4 {
+            return Err(err(ParseErrorKind::GroupTooLong));
+        }
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+/// Parses the interior of a `[..]` token: comma-separated digits or
+/// digit ranges, e.g. `1-2,8-a`.
+fn parse_set_body(body: &str, whole: &str) -> Result<NybbleSet, AddrParseError> {
+    let err = |kind: ParseErrorKind| AddrParseError::new(kind, whole);
+    let digit = |text: &str| -> Result<u8, AddrParseError> {
+        let mut it = text.chars();
+        match (it.next().and_then(|c| c.to_digit(16)), it.next()) {
+            (Some(v), None) => Ok(v as u8),
+            _ => Err(err(ParseErrorKind::InvalidSet)),
+        }
+    };
+    let mut set = NybbleSet::EMPTY;
+    for item in body.split(',') {
+        match item.split_once('-') {
+            None => set = set.insert(digit(item)?),
+            Some((lo, hi)) => {
+                let (lo, hi) = (digit(lo)?, digit(hi)?);
+                if lo > hi {
+                    return Err(err(ParseErrorKind::InvalidSet));
+                }
+                for v in lo..=hi {
+                    set = set.insert(v);
+                }
+            }
+        }
+    }
+    if set.is_empty() {
+        return Err(err(ParseErrorKind::EmptySet));
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NybbleAddr;
+
+    fn r(s: &str) -> Range {
+        parse_range(s).unwrap()
+    }
+
+    fn kind(s: &str) -> ParseErrorKind {
+        parse_range(s).unwrap_err().kind().clone()
+    }
+
+    #[test]
+    fn parses_plain_addresses() {
+        let range = r("2001:db8::11:2222");
+        assert_eq!(range.size(), 1);
+        assert!(range.contains("2001:db8::11:2222".parse::<NybbleAddr>().unwrap()));
+        assert_eq!(r("::").size(), 1);
+        assert_eq!(r("::1").size(), 1);
+        assert_eq!(r("1::").size(), 1);
+    }
+
+    #[test]
+    fn parses_full_uncompressed_form() {
+        let range = r("2001:0db8:0000:0000:0000:0000:0011:2222");
+        assert_eq!(range, r("2001:db8::11:2222"));
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let range = r("2001:db8::?:100?");
+        assert_eq!(range.size(), 256);
+        // '?' in its own group means 000?.
+        let range = r("2001:db8::?");
+        assert_eq!(range.size(), 16);
+        assert!(range.contains("2001:db8::f".parse::<NybbleAddr>().unwrap()));
+        assert!(!range.contains("2001:db8::1f".parse::<NybbleAddr>().unwrap()));
+        // Four wildcards cover the whole group.
+        assert_eq!(r("2001:db8::????").size(), 65536);
+    }
+
+    #[test]
+    fn parses_bounded_sets() {
+        let range = r("2001:db8::[1-2,8-a]");
+        assert_eq!(range.size(), 5);
+        for v in ["1", "2", "8", "9", "a"] {
+            let addr: NybbleAddr = format!("2001:db8::{v}").parse().unwrap();
+            assert!(range.contains(addr), "{v}");
+        }
+        let addr: NybbleAddr = "2001:db8::3".parse().unwrap();
+        assert!(!range.contains(addr));
+    }
+
+    #[test]
+    fn bracket_set_counts_as_one_token() {
+        // [0-f] + three digits = 4 tokens: legal.
+        let range = r("2001:db8::[0-f]123");
+        assert_eq!(range.size(), 16);
+        // Five tokens: illegal.
+        assert_eq!(kind("2001:db8::[0-f]1234"), ParseErrorKind::GroupTooLong);
+    }
+
+    #[test]
+    fn mixed_case_hex() {
+        assert_eq!(r("2001:DB8::A"), r("2001:db8::a"));
+        assert_eq!(r("::[A-B]"), r("::[a-b]"));
+    }
+
+    #[test]
+    fn rejects_bad_structure() {
+        assert_eq!(kind(""), ParseErrorKind::BadStructure);
+        assert_eq!(kind("1:2:3"), ParseErrorKind::BadStructure);
+        assert_eq!(kind("1:2:3:4:5:6:7:8:9"), ParseErrorKind::BadStructure);
+        assert_eq!(kind("1::2::3"), ParseErrorKind::BadStructure);
+        assert_eq!(kind("1:::2"), ParseErrorKind::BadStructure);
+        assert_eq!(kind(":1::2"), ParseErrorKind::BadStructure);
+        // '::' plus 8 explicit groups is over-specified.
+        assert_eq!(kind("1:2:3:4:5:6:7:8::"), ParseErrorKind::BadStructure);
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert_eq!(kind("2001:dg8::"), ParseErrorKind::InvalidCharacter('g'));
+        assert_eq!(kind("2001:db8::12345"), ParseErrorKind::GroupTooLong);
+        assert_eq!(kind("2001:db8::[1-"), ParseErrorKind::InvalidSet);
+        assert_eq!(kind("2001:db8::[2-1]"), ParseErrorKind::InvalidSet);
+        assert_eq!(kind("2001:db8::[]"), ParseErrorKind::InvalidSet);
+        assert_eq!(kind("2001:db8::[,]"), ParseErrorKind::InvalidSet);
+        assert_eq!(kind("1.2.3.4"), ParseErrorKind::InvalidCharacter('.'));
+    }
+
+    #[test]
+    fn double_colon_expands_to_zero_groups() {
+        let range = r("1::2");
+        let addr: NybbleAddr = "1:0:0:0:0:0:0:2".parse().unwrap();
+        assert!(range.contains(addr));
+        assert_eq!(range.size(), 1);
+    }
+
+    #[test]
+    fn trailing_and_leading_double_colon() {
+        assert_eq!(r("2001:db8::").size(), 1);
+        assert_eq!(r("::db8:1").size(), 1);
+        assert_eq!(r("?::").size(), 16);
+    }
+}

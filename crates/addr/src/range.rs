@@ -1,0 +1,761 @@
+//! [`Range`]: a rectangular region of IPv6 address space, one value set per
+//! nybble position.
+//!
+//! 6Gen clusters are *defined* by a range (§5.3 of the paper): every nybble
+//! position independently admits a set of values. A fully dynamic position
+//! is the paper's `?` wildcard; a bounded position is the `[1-2,8-a]`
+//! notation. The paper distinguishes **loose** ranges (every dynamic nybble
+//! is a full wildcard) from **tight** ranges (dynamic nybbles carry exactly
+//! the observed values); both are instances of this one type, produced by
+//! the two expansion operations [`Range::expand_loose`] and
+//! [`Range::expand_tight`].
+
+use crate::address::NybbleAddr;
+use crate::error::AddrParseError;
+use crate::nybble::{count_nonzero_nybbles, NybbleSet, NYBBLE_COUNT};
+use rand::Rng;
+use std::collections::HashSet;
+use std::str::FromStr;
+
+/// A rectangular IPv6 address region: the Cartesian product of one
+/// [`NybbleSet`] per nybble position.
+///
+/// Invariant: every position's set is non-empty, so a range always contains
+/// at least one address.
+///
+/// The type caches a packed representation of its *fixed* positions
+/// (positions admitting exactly one value) so that membership tests and
+/// Hamming distances run in a handful of word operations — the dominant cost
+/// of 6Gen's candidate-seed search. Positions that are neither fixed nor
+/// full wildcards ("partial" positions, which only arise in tight
+/// clustering) are tracked in a short side list and checked in a loop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    sets: [NybbleSet; NYBBLE_COUNT],
+    /// `0xF` at each fixed position, `0` elsewhere.
+    fixed_mask: u128,
+    /// The fixed value at each fixed position, `0` elsewhere.
+    fixed_values: u128,
+    /// Positions that are neither fixed nor full (sorted, ascending).
+    partial: Vec<u8>,
+}
+
+impl Range {
+    /// The range containing exactly one address.
+    pub fn from_address(addr: NybbleAddr) -> Range {
+        let mut sets = [NybbleSet::EMPTY; NYBBLE_COUNT];
+        for (i, set) in sets.iter_mut().enumerate() {
+            *set = NybbleSet::single(addr.nybble(i));
+        }
+        Range {
+            sets,
+            fixed_mask: u128::MAX,
+            fixed_values: addr.bits(),
+            partial: Vec::new(),
+        }
+    }
+
+    /// The range covering the entire IPv6 address space (all positions `?`).
+    pub fn full() -> Range {
+        Range::from_sets([NybbleSet::FULL; NYBBLE_COUNT])
+    }
+
+    /// Builds a range from explicit per-position sets.
+    ///
+    /// # Panics
+    /// Panics if any set is empty (the range would contain no address).
+    pub fn from_sets(sets: [NybbleSet; NYBBLE_COUNT]) -> Range {
+        let mut fixed_mask = 0u128;
+        let mut fixed_values = 0u128;
+        let mut partial = Vec::new();
+        for (i, set) in sets.iter().enumerate() {
+            assert!(!set.is_empty(), "empty nybble set at position {i}");
+            if let Some(v) = set.as_single() {
+                let sh = NybbleAddr::shift(i);
+                fixed_mask |= 0xFu128 << sh;
+                fixed_values |= (v as u128) << sh;
+            } else if !set.is_full() {
+                partial.push(i as u8);
+            }
+        }
+        Range {
+            sets,
+            fixed_mask,
+            fixed_values,
+            partial,
+        }
+    }
+
+    /// The value set at nybble position `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn set(&self, index: usize) -> NybbleSet {
+        self.sets[index]
+    }
+
+    /// All 32 per-position sets, most significant first.
+    #[inline]
+    pub fn sets(&self) -> &[NybbleSet; NYBBLE_COUNT] {
+        &self.sets
+    }
+
+    /// The number of *dynamic* positions (sets with more than one value).
+    pub fn dynamic_count(&self) -> u32 {
+        (u128::MAX ^ self.fixed_mask).count_ones() / 4
+    }
+
+    /// Iterator over the indices of dynamic positions.
+    pub fn dynamic_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..NYBBLE_COUNT).filter(|&i| !self.sets[i].is_single())
+    }
+
+    /// `true` if every dynamic position is a full wildcard — the paper's
+    /// *loose* range form (§5.3).
+    pub fn is_loose(&self) -> bool {
+        self.partial.is_empty()
+    }
+
+    /// The number of addresses in the range: the product of per-position set
+    /// sizes. The only value that exceeds `u128` is the full address space
+    /// (16³² = 2¹²⁸, all positions `?`), which saturates to `u128::MAX`;
+    /// callers that can encounter the full space should treat `u128::MAX`
+    /// as "entire space".
+    pub fn size(&self) -> u128 {
+        let mut acc: u128 = 1;
+        for set in &self.sets {
+            match acc.checked_mul(set.len() as u128) {
+                Some(v) => acc = v,
+                None => return u128::MAX,
+            }
+        }
+        acc
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, addr: NybbleAddr) -> bool {
+        if (addr.bits() ^ self.fixed_values) & self.fixed_mask != 0 {
+            return false;
+        }
+        self.partial
+            .iter()
+            .all(|&i| self.sets[i as usize].contains(addr.nybble(i as usize)))
+    }
+
+    /// Nybble-level Hamming distance from the range to an address: the
+    /// number of positions whose set does not contain the address's value.
+    /// Distance from a wildcard position is zero (§5.2). Equivalently, the
+    /// number of positions that would become (more) dynamic if the address
+    /// were clustered into the range.
+    #[inline]
+    pub fn distance(&self, addr: NybbleAddr) -> u32 {
+        let mut d = count_nonzero_nybbles((addr.bits() ^ self.fixed_values) & self.fixed_mask);
+        for &i in &self.partial {
+            if !self.sets[i as usize].contains(addr.nybble(i as usize)) {
+                d += 1;
+            }
+        }
+        d
+    }
+
+    /// Expands the range to cover `addr`, turning every mismatching
+    /// position into a **full wildcard** — loose clustering (§5.3/§6.3).
+    ///
+    /// Positions that already contain the address's value are unchanged, so
+    /// expanding by a member address returns a clone.
+    pub fn expand_loose(&self, addr: NybbleAddr) -> Range {
+        let mut sets = self.sets;
+        let mut changed = false;
+        for (i, set) in sets.iter_mut().enumerate() {
+            if !set.contains(addr.nybble(i)) {
+                *set = NybbleSet::FULL;
+                changed = true;
+            }
+        }
+        if !changed {
+            return self.clone();
+        }
+        Range::from_sets(sets)
+    }
+
+    /// Expands the range to cover `addr`, inserting only the address's value
+    /// at each mismatching position — tight clustering (§5.3/§6.3).
+    pub fn expand_tight(&self, addr: NybbleAddr) -> Range {
+        let mut sets = self.sets;
+        let mut changed = false;
+        for (i, set) in sets.iter_mut().enumerate() {
+            let v = addr.nybble(i);
+            if !set.contains(v) {
+                *set = set.insert(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return self.clone();
+        }
+        Range::from_sets(sets)
+    }
+
+    /// Converts to the loose form: every dynamic position becomes a full
+    /// wildcard.
+    pub fn loosen(&self) -> Range {
+        if self.is_loose() {
+            return self.clone();
+        }
+        let mut sets = self.sets;
+        for set in sets.iter_mut() {
+            if !set.is_single() {
+                *set = NybbleSet::FULL;
+            }
+        }
+        Range::from_sets(sets)
+    }
+
+    /// Per-position union of two ranges (the smallest rectangle covering
+    /// both).
+    pub fn union(&self, other: &Range) -> Range {
+        let mut sets = self.sets;
+        for (i, set) in sets.iter_mut().enumerate() {
+            *set = set.union(other.sets[i]);
+        }
+        Range::from_sets(sets)
+    }
+
+    /// `true` if every address of `self` lies in `other` (per-position
+    /// subset test). Used by 6Gen's subsumed-cluster deletion (§5.4).
+    pub fn is_subset(&self, other: &Range) -> bool {
+        self.sets
+            .iter()
+            .zip(other.sets.iter())
+            .all(|(a, b)| a.is_subset(*b))
+    }
+
+    /// `true` if the two ranges share at least one address.
+    pub fn intersects(&self, other: &Range) -> bool {
+        self.sets
+            .iter()
+            .zip(other.sets.iter())
+            .all(|(a, b)| !a.intersection(*b).is_empty())
+    }
+
+    /// The rectangle of addresses common to both ranges, if any.
+    pub fn intersection(&self, other: &Range) -> Option<Range> {
+        let mut sets = [NybbleSet::EMPTY; NYBBLE_COUNT];
+        for (i, slot) in sets.iter_mut().enumerate() {
+            let s = self.sets[i].intersection(other.sets[i]);
+            if s.is_empty() {
+                return None;
+            }
+            *slot = s;
+        }
+        Some(Range::from_sets(sets))
+    }
+
+    /// The `index`-th address of the range in lexicographic (most-
+    /// significant-position-first) order.
+    ///
+    /// # Panics
+    /// Panics if `index >= self.size()`.
+    pub fn nth(&self, index: u128) -> NybbleAddr {
+        let mut idx = index;
+        let mut nybbles = [0u8; NYBBLE_COUNT];
+        // Decompose in mixed radix, least significant position first.
+        for i in (0..NYBBLE_COUNT).rev() {
+            let radix = self.sets[i].len() as u128;
+            nybbles[i] = self.sets[i].nth_value((idx % radix) as u32);
+            idx /= radix;
+        }
+        assert!(idx == 0, "range index out of bounds");
+        NybbleAddr::from_nybbles(nybbles)
+    }
+
+    /// The lexicographic rank of `addr` within the range, if it is a member.
+    pub fn index_of(&self, addr: NybbleAddr) -> Option<u128> {
+        let mut index: u128 = 0;
+        for i in 0..NYBBLE_COUNT {
+            let rank = self.sets[i].rank_of(addr.nybble(i))?;
+            index = index * self.sets[i].len() as u128 + rank as u128;
+        }
+        Some(index)
+    }
+
+    /// The smallest address in the range.
+    pub fn min_address(&self) -> NybbleAddr {
+        let mut nybbles = [0u8; NYBBLE_COUNT];
+        for (i, slot) in nybbles.iter_mut().enumerate() {
+            *slot = self.sets[i].min_value().expect("range sets are non-empty");
+        }
+        NybbleAddr::from_nybbles(nybbles)
+    }
+
+    /// Iterates every address in the range in lexicographic order.
+    pub fn iter(&self) -> RangeIter<'_> {
+        RangeIter::new(self)
+    }
+
+    /// Draws one address uniformly at random. Per-position independent
+    /// sampling is exactly uniform over the rectangle, so this works even
+    /// for ranges whose size saturates `u128`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NybbleAddr {
+        let mut nybbles = [0u8; NYBBLE_COUNT];
+        for (i, slot) in nybbles.iter_mut().enumerate() {
+            let set = self.sets[i];
+            *slot = match set.as_single() {
+                Some(v) => v,
+                None => set.nth_value(rng.gen_range(0..set.len())),
+            };
+        }
+        NybbleAddr::from_nybbles(nybbles)
+    }
+}
+
+impl FromStr for Range {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse_range(s)
+    }
+}
+
+impl core::fmt::Display for Range {
+    /// Formats using group notation with RFC 5952-style `::` compression of
+    /// the longest run (≥ 2) of all-zero groups. Dynamic nybbles render as
+    /// `?` or `[..]` sets; groups containing them are never compressed.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // A group is "zero" if all four sets are the single value 0.
+        let group_is_zero = |g: usize| {
+            (0..4).all(|k| self.sets[g * 4 + k] == NybbleSet::single(0))
+        };
+        // Find the leftmost longest run of >= 2 zero groups.
+        let (mut best_start, mut best_len) = (0usize, 0usize);
+        let mut g = 0;
+        while g < 8 {
+            if group_is_zero(g) {
+                let start = g;
+                while g < 8 && group_is_zero(g) {
+                    g += 1;
+                }
+                if g - start > best_len {
+                    best_start = start;
+                    best_len = g - start;
+                }
+            } else {
+                g += 1;
+            }
+        }
+        let compress = best_len >= 2;
+        let write_group = |f: &mut core::fmt::Formatter<'_>, g: usize| -> core::fmt::Result {
+            // Skip leading fixed zeros, but print at least one token.
+            let mut started = false;
+            for k in 0..4 {
+                let set = self.sets[g * 4 + k];
+                if !started && k < 3 && set == NybbleSet::single(0) {
+                    continue;
+                }
+                started = true;
+                write!(f, "{set}")?;
+            }
+            Ok(())
+        };
+        let mut g = 0;
+        let mut first = true;
+        while g < 8 {
+            if compress && g == best_start {
+                f.write_str("::")?;
+                g += best_len;
+                first = true; // '::' already provides the separator
+                if g == 8 {
+                    return Ok(());
+                }
+                continue;
+            }
+            if !first {
+                f.write_str(":")?;
+            }
+            first = false;
+            write_group(f, g)?;
+            g += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Lexicographic iterator over a [`Range`]'s addresses (an odometer over the
+/// per-position value sets; the least significant position varies fastest).
+#[derive(Debug, Clone)]
+pub struct RangeIter<'a> {
+    range: &'a Range,
+    /// Per-position rank of the next address, or `None` when exhausted.
+    ranks: Option<[u32; NYBBLE_COUNT]>,
+}
+
+impl<'a> RangeIter<'a> {
+    fn new(range: &'a Range) -> Self {
+        RangeIter {
+            range,
+            ranks: Some([0; NYBBLE_COUNT]),
+        }
+    }
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = NybbleAddr;
+
+    fn next(&mut self) -> Option<NybbleAddr> {
+        let ranks = self.ranks.as_mut()?;
+        let mut nybbles = [0u8; NYBBLE_COUNT];
+        for i in 0..NYBBLE_COUNT {
+            nybbles[i] = self.range.sets[i].nth_value(ranks[i]);
+        }
+        // Advance the odometer.
+        let mut i = NYBBLE_COUNT;
+        loop {
+            if i == 0 {
+                self.ranks = None;
+                break;
+            }
+            i -= 1;
+            ranks[i] += 1;
+            if ranks[i] < self.range.sets[i].len() {
+                break;
+            }
+            ranks[i] = 0;
+        }
+        Some(NybbleAddr::from_nybbles(nybbles))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.ranks {
+            None => (0, Some(0)),
+            Some(_) => {
+                let sz = self.range.size();
+                if sz <= usize::MAX as u128 {
+                    (sz as usize, Some(sz as usize))
+                } else {
+                    (usize::MAX, None)
+                }
+            }
+        }
+    }
+}
+
+/// Samples **distinct** addresses from a range, optionally excluding a set
+/// of already-used addresses.
+///
+/// 6Gen's final cluster growth must "consume the budget exactly by randomly
+/// selecting addresses in the newly grown cluster's range that were not in
+/// the cluster's pre-growth range" (§5.4). For ranges not much larger than
+/// the number of draws, rejection sampling degrades, so the sampler switches
+/// to enumerate-and-shuffle below a density threshold.
+#[derive(Debug)]
+pub struct RangeSampler {
+    range: Range,
+    drawn: HashSet<NybbleAddr>,
+}
+
+impl RangeSampler {
+    /// Creates a sampler over `range`.
+    pub fn new(range: Range) -> RangeSampler {
+        RangeSampler {
+            range,
+            drawn: HashSet::new(),
+        }
+    }
+
+    /// Draws up to `count` distinct addresses from the range, each not
+    /// previously drawn by this sampler and for which `exclude` returns
+    /// `false`. Returns fewer than `count` only if the range is exhausted.
+    pub fn draw<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        count: usize,
+        mut exclude: impl FnMut(NybbleAddr) -> bool,
+    ) -> Vec<NybbleAddr> {
+        let size = self.range.size();
+        let mut out = Vec::with_capacity(count);
+        // Dense regime: enumerating the whole range costs at most 4x the
+        // requested draw, so do that and shuffle for exact uniformity.
+        let dense = size <= (count as u128).saturating_mul(4).max(1024);
+        if dense {
+            let mut pool: Vec<NybbleAddr> = self
+                .range
+                .iter()
+                .filter(|a| !self.drawn.contains(a) && !exclude(*a))
+                .collect();
+            // Partial Fisher–Yates: only the first `count` slots matter.
+            let take = count.min(pool.len());
+            for i in 0..take {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(take);
+            for a in &pool {
+                self.drawn.insert(*a);
+            }
+            out.extend(pool);
+            return out;
+        }
+        // Sparse regime: rejection sampling; collisions are rare because the
+        // range dwarfs the draw count.
+        let mut attempts: u64 = 0;
+        let max_attempts = (count as u64).saturating_mul(64).max(4096);
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let a = self.range.sample(rng);
+            if self.drawn.contains(&a) || exclude(a) {
+                continue;
+            }
+            self.drawn.insert(a);
+            out.push(a);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(s: &str) -> Range {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_example_range() {
+        // §2: 2001:db8::?:100? represents 256 addresses, including
+        // 2001:db8::5:1000, 2001:db8::8:100a, and 2001:db8::1003.
+        let range = r("2001:db8::?:100?");
+        assert_eq!(range.size(), 256);
+        assert!(range.contains(a("2001:db8::5:1000")));
+        assert!(range.contains(a("2001:db8::8:100a")));
+        assert!(range.contains(a("2001:db8::1003")));
+        assert!(!range.contains(a("2001:db8::5:2000")));
+    }
+
+    #[test]
+    fn singleton_range() {
+        let range = Range::from_address(a("2001:db8::1"));
+        assert_eq!(range.size(), 1);
+        assert!(range.contains(a("2001:db8::1")));
+        assert!(!range.contains(a("2001:db8::2")));
+        assert_eq!(range.dynamic_count(), 0);
+        assert!(range.is_loose());
+        assert_eq!(range.to_string(), "2001:db8::1");
+    }
+
+    #[test]
+    fn full_range_saturates_size() {
+        let range = Range::full();
+        assert_eq!(range.size(), u128::MAX);
+        assert!(range.contains(a("::")));
+        assert!(range.contains(a("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")));
+        assert_eq!(range.dynamic_count(), 32);
+    }
+
+    #[test]
+    fn almost_full_range_size_is_exact() {
+        // One fixed position: 16^31 exactly.
+        let mut sets = [NybbleSet::FULL; NYBBLE_COUNT];
+        sets[0] = NybbleSet::single(2);
+        assert_eq!(Range::from_sets(sets).size(), 1u128 << 124);
+    }
+
+    #[test]
+    fn distance_examples_from_paper() {
+        // §5.2: distance between 2001:db8::51 and 2001:db8::5? is zero.
+        let range = r("2001:db8::5?");
+        assert_eq!(range.distance(a("2001:db8::51")), 0);
+        assert_eq!(range.distance(a("2001:db8::61")), 1);
+        assert_eq!(range.distance(a("2001:db8::161")), 2);
+        let singleton = Range::from_address(a("2001:db8::58"));
+        assert_eq!(singleton.distance(a("2001:db8::51")), 1);
+    }
+
+    #[test]
+    fn distance_counts_partial_positions() {
+        let range = r("2001:db8::[1-3]");
+        assert_eq!(range.distance(a("2001:db8::2")), 0);
+        assert_eq!(range.distance(a("2001:db8::5")), 1);
+        assert_eq!(range.distance(a("2002:db8::5")), 2);
+    }
+
+    #[test]
+    fn expand_loose_makes_full_wildcards() {
+        let range = Range::from_address(a("2001:db8::1230"));
+        let grown = range.expand_loose(a("2001:db8::1204"));
+        // Positions 29 and 31 differ.
+        assert_eq!(grown.size(), 256);
+        assert!(grown.contains(a("2001:db8::12ff")));
+        assert!(grown.is_loose());
+        assert_eq!(grown.to_string(), "2001:db8::12??");
+    }
+
+    #[test]
+    fn expand_tight_inserts_single_values() {
+        let range = Range::from_address(a("2001:db8::1230"));
+        let grown = range.expand_tight(a("2001:db8::1204"));
+        assert_eq!(grown.size(), 4); // {3,0} x {0,4}
+        assert!(grown.contains(a("2001:db8::1230")));
+        assert!(grown.contains(a("2001:db8::1204")));
+        assert!(grown.contains(a("2001:db8::1200")));
+        assert!(grown.contains(a("2001:db8::1234")));
+        assert!(!grown.contains(a("2001:db8::1231")));
+        assert!(!grown.is_loose());
+    }
+
+    #[test]
+    fn expand_by_member_is_identity() {
+        let range = r("2001:db8::?");
+        assert_eq!(range.expand_loose(a("2001:db8::7")), range);
+        assert_eq!(range.expand_tight(a("2001:db8::7")), range);
+    }
+
+    #[test]
+    fn loosen_widens_partials() {
+        let tight = r("2001:db8::[1-3]");
+        let loose = tight.loosen();
+        assert_eq!(loose, r("2001:db8::?"));
+        assert!(tight.is_subset(&loose));
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let big = r("2001:db8::?:?");
+        let small = r("2001:db8::5:?");
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(big.intersects(&small));
+        assert_eq!(big.intersection(&small).unwrap(), small);
+
+        let other = r("2001:db9::?");
+        assert!(!big.intersects(&other));
+        assert!(big.intersection(&other).is_none());
+
+        let left = r("2001:db8::[1-4]");
+        let right = r("2001:db8::[3-8]");
+        let mid = left.intersection(&right).unwrap();
+        assert_eq!(mid, r("2001:db8::[3-4]"));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let x = Range::from_address(a("2001:db8::1"));
+        let y = Range::from_address(a("2001:db8::9"));
+        let u = x.union(&y);
+        assert_eq!(u, r("2001:db8::[1,9]"));
+        assert!(x.is_subset(&u) && y.is_subset(&u));
+    }
+
+    #[test]
+    fn nth_and_index_roundtrip() {
+        let range = r("2001:db8::?:100[0-3]");
+        let size = range.size();
+        assert_eq!(size, 64);
+        for idx in 0..size {
+            let addr = range.nth(idx);
+            assert!(range.contains(addr));
+            assert_eq!(range.index_of(addr), Some(idx));
+        }
+        assert_eq!(range.index_of(a("2001:db8::1004")), None);
+    }
+
+    #[test]
+    fn iteration_matches_nth() {
+        let range = r("::[a-b]0[1,5]");
+        let via_iter: Vec<_> = range.iter().collect();
+        assert_eq!(via_iter.len(), range.size() as usize);
+        for (i, addr) in via_iter.iter().enumerate() {
+            assert_eq!(*addr, range.nth(i as u128));
+        }
+        // Lexicographic order.
+        let mut sorted = via_iter.clone();
+        sorted.sort();
+        assert_eq!(via_iter, sorted);
+    }
+
+    #[test]
+    fn min_address() {
+        assert_eq!(r("2001:db8::?").min_address(), a("2001:db8::"));
+        assert_eq!(r("2001:db8::[4-6]").min_address(), a("2001:db8::4"));
+    }
+
+    #[test]
+    fn sampling_is_within_range() {
+        let range = r("2001:db8::?:?");
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(range.contains(range.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_values_eventually() {
+        let range = r("::[0-3]");
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(range.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn sampler_draws_distinct_dense() {
+        let range = r("::?"); // 16 addresses
+        let mut s = RangeSampler::new(range.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let drawn = s.draw(&mut rng, 10, |_| false);
+        assert_eq!(drawn.len(), 10);
+        let uniq: HashSet<_> = drawn.iter().collect();
+        assert_eq!(uniq.len(), 10);
+        // Draw the rest; never repeats, exhausts at 16.
+        let rest = s.draw(&mut rng, 100, |_| false);
+        assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn sampler_respects_exclusion() {
+        let range = r("::?");
+        let mut s = RangeSampler::new(range);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Exclude even last nybbles.
+        let drawn = s.draw(&mut rng, 16, |addr| addr.nybble(31) % 2 == 0);
+        assert_eq!(drawn.len(), 8);
+        assert!(drawn.iter().all(|a| a.nybble(31) % 2 == 1));
+    }
+
+    #[test]
+    fn sampler_sparse_regime() {
+        let range = r("2001:db8::?:?:?:?"); // 16^16 addresses
+        let mut s = RangeSampler::new(range.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let drawn = s.draw(&mut rng, 1000, |_| false);
+        assert_eq!(drawn.len(), 1000);
+        let uniq: HashSet<_> = drawn.iter().collect();
+        assert_eq!(uniq.len(), 1000);
+        assert!(drawn.iter().all(|a| range.contains(*a)));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in [
+            "2001:db8::?:100?",
+            "::",
+            "2001:db8::[1-2,8-a]",
+            "?:2::3:?",
+            "2001:db8:0:?::5",
+        ] {
+            let range = r(s);
+            let printed = range.to_string();
+            assert_eq!(r(&printed), range, "roundtrip of {s} via {printed}");
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! [`NybbleTree`]: the 16-ary seed trie of §5.5 of the paper.
+//!
+//! 6Gen stores all seeds in a *nybble tree* — "a 16-ary tree where each
+//! level in the tree represents a nybble position and branching corresponds
+//! to that position's nybble value. This allows us to quickly iterate over
+//! the seeds that fall within a given range instead of iterating over all
+//! seeds," and lets a cluster's seed set be reconstructed from its range so
+//! that only the range and seed-set size need be stored.
+//!
+//! Beyond the paper's queries, the tree also supports a branch-and-bound
+//! *nearest-seed* search ([`NybbleTree::nearest_outside`]) used to find the
+//! candidate seeds minimally distant from a cluster range without scanning
+//! the full seed list.
+
+use crate::address::NybbleAddr;
+use crate::nybble::NYBBLE_COUNT;
+use crate::range::Range;
+
+/// Index of a node in the arena. `u32` keeps nodes compact; 4 G nodes is
+/// far beyond any realistic seed corpus.
+type NodeId = u32;
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// `(nybble value, child id)`, sorted by value. At most 16 entries.
+    children: Vec<(u8, NodeId)>,
+    /// Number of addresses stored in this subtree.
+    count: u32,
+}
+
+/// A set of IPv6 addresses stored as a 16-ary trie over nybbles.
+///
+/// Supports insertion, membership, exact counting and iteration of the
+/// addresses inside an arbitrary [`Range`], and nearest-neighbour search by
+/// nybble Hamming distance.
+///
+/// ```
+/// use sixgen_addr::{NybbleTree, Range};
+///
+/// let mut tree = NybbleTree::new();
+/// tree.insert("2001:db8::1".parse().unwrap());
+/// tree.insert("2001:db8::7".parse().unwrap());
+/// tree.insert("2001:db9::1".parse().unwrap());
+/// let range: Range = "2001:db8::?".parse().unwrap();
+/// assert_eq!(tree.count_in_range(&range), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NybbleTree {
+    nodes: Vec<Node>,
+}
+
+impl Default for NybbleTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NybbleTree {
+    /// Creates an empty tree.
+    pub fn new() -> NybbleTree {
+        NybbleTree {
+            nodes: vec![Node::default()],
+        }
+    }
+
+    /// Builds a tree from an iterator of addresses (duplicates are stored
+    /// once).
+    pub fn from_addresses(addresses: impl IntoIterator<Item = NybbleAddr>) -> NybbleTree {
+        let mut tree = NybbleTree::new();
+        for addr in addresses {
+            tree.insert(addr);
+        }
+        tree
+    }
+
+    /// Number of distinct addresses stored.
+    pub fn len(&self) -> usize {
+        self.nodes[0].count as usize
+    }
+
+    /// `true` if the tree stores no address.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of arena nodes (diagnostic; proportional to memory use).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn child(&self, node: NodeId, value: u8) -> Option<NodeId> {
+        let children = &self.nodes[node as usize].children;
+        children
+            .binary_search_by_key(&value, |&(v, _)| v)
+            .ok()
+            .map(|i| children[i].1)
+    }
+
+    /// Inserts an address; returns `true` if it was not already present.
+    pub fn insert(&mut self, addr: NybbleAddr) -> bool {
+        if self.contains(addr) {
+            return false;
+        }
+        let mut node: NodeId = 0;
+        self.nodes[0].count += 1;
+        for depth in 0..NYBBLE_COUNT {
+            let value = addr.nybble(depth);
+            let next = match self.child(node, value) {
+                Some(c) => c,
+                None => {
+                    let id = self.nodes.len() as NodeId;
+                    self.nodes.push(Node::default());
+                    let children = &mut self.nodes[node as usize].children;
+                    let pos = children.partition_point(|&(v, _)| v < value);
+                    children.insert(pos, (value, id));
+                    id
+                }
+            };
+            self.nodes[next as usize].count += 1;
+            node = next;
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: NybbleAddr) -> bool {
+        let mut node: NodeId = 0;
+        for depth in 0..NYBBLE_COUNT {
+            match self.child(node, addr.nybble(depth)) {
+                Some(c) => node = c,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Counts the stored addresses that lie within `range`, without
+    /// enumerating them. Subtrees below the range's last constrained
+    /// position are counted in O(1) from cached subtree sizes.
+    pub fn count_in_range(&self, range: &Range) -> u64 {
+        // Deepest position that is not a full wildcard; below it every
+        // stored address matches and node counts can be used directly.
+        let last_constrained = (0..NYBBLE_COUNT)
+            .rev()
+            .find(|&i| !range.set(i).is_full())
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.count_rec(0, 0, range, last_constrained)
+    }
+
+    fn count_rec(&self, node: NodeId, depth: usize, range: &Range, last: usize) -> u64 {
+        if depth >= last {
+            return self.nodes[node as usize].count as u64;
+        }
+        let set = range.set(depth);
+        let mut total = 0u64;
+        for &(value, child) in &self.nodes[node as usize].children {
+            if set.contains(value) {
+                total += self.count_rec(child, depth + 1, range, last);
+            }
+        }
+        total
+    }
+
+    /// Calls `f` for every stored address inside `range`, in increasing
+    /// address order.
+    pub fn for_each_in_range(&self, range: &Range, mut f: impl FnMut(NybbleAddr)) {
+        let mut path = NybbleAddr::UNSPECIFIED;
+        self.visit_rec(0, 0, range, &mut path, &mut f);
+    }
+
+    /// Collects the stored addresses inside `range`.
+    pub fn collect_in_range(&self, range: &Range) -> Vec<NybbleAddr> {
+        let mut out = Vec::new();
+        self.for_each_in_range(range, |a| out.push(a));
+        out
+    }
+
+    fn visit_rec(
+        &self,
+        node: NodeId,
+        depth: usize,
+        range: &Range,
+        path: &mut NybbleAddr,
+        f: &mut impl FnMut(NybbleAddr),
+    ) {
+        if depth == NYBBLE_COUNT {
+            f(*path);
+            return;
+        }
+        let set = range.set(depth);
+        for &(value, child) in &self.nodes[node as usize].children {
+            if set.contains(value) {
+                *path = path.with_nybble(depth, value);
+                self.visit_rec(child, depth + 1, range, path, f);
+            }
+        }
+        *path = path.with_nybble(depth, 0);
+    }
+
+    /// Iterates every stored address in increasing order.
+    pub fn addresses(&self) -> Vec<NybbleAddr> {
+        self.collect_in_range(&Range::full())
+    }
+
+    /// Finds the stored addresses *outside* `range` that are minimally
+    /// distant from it (nybble Hamming distance, §5.2), i.e. the paper's
+    /// `FindCandidateSeeds`. Returns `(min_distance, seeds)` with
+    /// `min_distance ≥ 1`, or `None` if every stored address lies inside the
+    /// range.
+    ///
+    /// Branch-and-bound: a subtree is pruned as soon as its accumulated
+    /// mismatch count exceeds the best distance found so far.
+    pub fn nearest_outside(&self, range: &Range) -> Option<(u32, Vec<NybbleAddr>)> {
+        let mut best = (NYBBLE_COUNT + 1) as u32;
+        let mut out = Vec::new();
+        let mut path = NybbleAddr::UNSPECIFIED;
+        self.nearest_rec(0, 0, 0, range, &mut path, &mut best, &mut out);
+        (!out.is_empty()).then_some((best, out))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_rec(
+        &self,
+        node: NodeId,
+        depth: usize,
+        mismatches: u32,
+        range: &Range,
+        path: &mut NybbleAddr,
+        best: &mut u32,
+        out: &mut Vec<NybbleAddr>,
+    ) {
+        if mismatches > *best {
+            return;
+        }
+        if depth == NYBBLE_COUNT {
+            if mismatches == 0 {
+                // Inside the range: not a candidate.
+                return;
+            }
+            match mismatches.cmp(best) {
+                core::cmp::Ordering::Less => {
+                    *best = mismatches;
+                    out.clear();
+                    out.push(*path);
+                }
+                core::cmp::Ordering::Equal => out.push(*path),
+                core::cmp::Ordering::Greater => {}
+            }
+            return;
+        }
+        let set = range.set(depth);
+        // Visit matching children first so `best` tightens early.
+        for matching in [true, false] {
+            for &(value, child) in &self.nodes[node as usize].children {
+                if set.contains(value) == matching {
+                    let add = u32::from(!matching);
+                    if mismatches + add > *best {
+                        continue;
+                    }
+                    *path = path.with_nybble(depth, value);
+                    self.nearest_rec(child, depth + 1, mismatches + add, range, path, best, out);
+                }
+            }
+        }
+        *path = path.with_nybble(depth, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    fn r(s: &str) -> Range {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut tree = NybbleTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.insert(a("2001:db8::1")));
+        assert!(!tree.insert(a("2001:db8::1")), "duplicate insert");
+        assert!(tree.insert(a("2001:db8::2")));
+        assert_eq!(tree.len(), 2);
+        assert!(tree.contains(a("2001:db8::1")));
+        assert!(!tree.contains(a("2001:db8::3")));
+    }
+
+    #[test]
+    fn count_in_range_basic() {
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::1"),
+            a("2001:db8::7"),
+            a("2001:db8::17"),
+            a("2001:db9::1"),
+        ]);
+        assert_eq!(tree.count_in_range(&r("2001:db8::?")), 2);
+        assert_eq!(tree.count_in_range(&r("2001:db8::??")), 3);
+        assert_eq!(tree.count_in_range(&Range::full()), 4);
+        assert_eq!(tree.count_in_range(&r("2002::?")), 0);
+        assert_eq!(tree.count_in_range(&r("2001:db8::7")), 1);
+    }
+
+    #[test]
+    fn count_uses_subtree_counts_for_wildcard_tails() {
+        // Range constrained only in the first half: exercise the O(1)
+        // subtree-count path.
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::1"),
+            a("2001:db8:0:1::9:8:7"),
+            a("2001:db9::1"),
+        ]);
+        let range = r("2001:db8:?:?:?:?:?:?").loosen();
+        assert_eq!(tree.count_in_range(&range), 2);
+    }
+
+    #[test]
+    fn collect_in_range_sorted() {
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::9"),
+            a("2001:db8::1"),
+            a("2001:db8::5"),
+            a("fe80::1"),
+        ]);
+        let got = tree.collect_in_range(&r("2001:db8::?"));
+        assert_eq!(got, vec![a("2001:db8::1"), a("2001:db8::5"), a("2001:db8::9")]);
+        let all = tree.addresses();
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nearest_outside_simple() {
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::11"),
+            a("2001:db8::19"), // distance 1 from ::11 singleton
+            a("2001:db8::99"), // distance 2
+            a("2001:db8::1b"), // distance 1
+        ]);
+        let range = Range::from_address(a("2001:db8::11"));
+        let (dist, seeds) = tree.nearest_outside(&range).unwrap();
+        assert_eq!(dist, 1);
+        let mut seeds = seeds;
+        seeds.sort();
+        assert_eq!(seeds, vec![a("2001:db8::19"), a("2001:db8::1b")]);
+    }
+
+    #[test]
+    fn nearest_outside_excludes_members() {
+        let tree = NybbleTree::from_addresses([a("2001:db8::1"), a("2001:db8::2")]);
+        let range = r("2001:db8::?");
+        assert!(tree.nearest_outside(&range).is_none());
+
+        let tree =
+            NybbleTree::from_addresses([a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::1:0")]);
+        let (dist, seeds) = tree.nearest_outside(&range).unwrap();
+        assert_eq!(dist, 1);
+        assert_eq!(seeds, vec![a("2001:db8::1:0")]);
+    }
+
+    #[test]
+    fn nearest_outside_matches_naive_scan_randomized() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            // Random seeds clustered in a /96-like region plus stragglers.
+            let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+            let addrs: Vec<NybbleAddr> = (0..60)
+                .map(|_| {
+                    let noise: u128 = rng.gen::<u32>() as u128 | ((rng.gen::<u8>() as u128) << 64);
+                    NybbleAddr::from_bits(base | noise)
+                })
+                .collect();
+            let tree = NybbleTree::from_addresses(addrs.iter().copied());
+            // A range around one random seed with a couple of wildcards.
+            let center = addrs[trial % addrs.len()];
+            let range = Range::from_address(center)
+                .expand_loose(center.with_nybble(31, center.nybble(31) ^ 1))
+                .expand_loose(center.with_nybble(24, center.nybble(24) ^ 3));
+            // Naive: min distance over non-members.
+            let naive_min = addrs
+                .iter()
+                .filter(|s| !range.contains(**s))
+                .map(|s| range.distance(*s))
+                .min();
+            let naive_set: Vec<NybbleAddr> = match naive_min {
+                None => Vec::new(),
+                Some(m) => {
+                    let mut v: Vec<NybbleAddr> = addrs
+                        .iter()
+                        .copied()
+                        .filter(|s| !range.contains(*s) && range.distance(*s) == m)
+                        .collect();
+                    v.sort();
+                    v.dedup();
+                    v
+                }
+            };
+            match tree.nearest_outside(&range) {
+                None => assert!(naive_set.is_empty()),
+                Some((dist, mut seeds)) => {
+                    seeds.sort();
+                    assert_eq!(Some(dist), naive_min, "trial {trial}");
+                    assert_eq!(seeds, naive_set, "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_naive_scan_randomized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let addrs: Vec<NybbleAddr> = (0..200)
+            .map(|_| {
+                let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+                NybbleAddr::from_bits(base | (rng.gen::<u16>() as u128))
+            })
+            .collect();
+        let tree = NybbleTree::from_addresses(addrs.iter().copied());
+        let mut uniq = addrs.clone();
+        uniq.sort();
+        uniq.dedup();
+        for range_text in ["2001:db8::?", "2001:db8::??", "2001:db8::???", "2001:db8::[0-7]?"] {
+            let range = r(range_text);
+            let naive = uniq.iter().filter(|s| range.contains(**s)).count() as u64;
+            assert_eq!(tree.count_in_range(&range), naive, "{range_text}");
+            assert_eq!(
+                tree.collect_in_range(&range).len() as u64,
+                naive,
+                "{range_text}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_shares_prefixes() {
+        let tree = NybbleTree::from_addresses([a("2001:db8::1"), a("2001:db8::2")]);
+        // 1 root + 31 shared + 2 leaves for the final differing nybble.
+        assert_eq!(tree.node_count(), 1 + 31 + 2);
+    }
+}

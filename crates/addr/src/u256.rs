@@ -1,0 +1,222 @@
+//! Minimal 256-bit unsigned integer support.
+//!
+//! 6Gen compares cluster densities `count / size` where `size` can occupy the
+//! full 128-bit range. Comparing `a_count · b_size` against `b_count ·
+//! a_size` therefore needs a 256-bit product. Rather than pull in a bignum
+//! dependency for one operation, this module implements exactly the widening
+//! multiply and comparison required, plus addition/subtraction used by the
+//! unique-address budget accounting.
+
+/// A 256-bit unsigned integer as a `(high, low)` pair of `u128` limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct U256 {
+    /// Most-significant 128 bits.
+    pub hi: u128,
+    /// Least-significant 128 bits.
+    pub lo: u128,
+}
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256 { hi: 0, lo: 0 };
+    /// The maximum representable value, 2²⁵⁶ − 1.
+    pub const MAX: U256 = U256 {
+        hi: u128::MAX,
+        lo: u128::MAX,
+    };
+
+    /// Creates a `U256` from a `u128` value.
+    pub const fn from_u128(v: u128) -> U256 {
+        U256 { hi: 0, lo: v }
+    }
+
+    /// Full 128×128→256-bit widening multiplication.
+    pub fn mul_u128(a: u128, b: u128) -> U256 {
+        const MASK: u128 = (1u128 << 64) - 1;
+        let (a_hi, a_lo) = (a >> 64, a & MASK);
+        let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+
+        // Sum the three middle contributions into (carry, mid).
+        let (mid, c1) = lh.overflowing_add(hl);
+        let mid_carry = (c1 as u128) << 64;
+
+        let (lo, c2) = ll.overflowing_add(mid << 64);
+        let hi = hh + (mid >> 64) + mid_carry + c2 as u128;
+        U256 { hi, lo }
+    }
+
+    /// Checked addition; `None` on overflow past 2²⁵⁶ − 1.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        let (lo, carry) = self.lo.overflowing_add(rhs.lo);
+        let hi = self.hi.checked_add(rhs.hi)?.checked_add(carry as u128)?;
+        Some(U256 { hi, lo })
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).unwrap_or(U256::MAX)
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        if rhs > self {
+            return None;
+        }
+        let (lo, borrow) = self.lo.overflowing_sub(rhs.lo);
+        let hi = self.hi - rhs.hi - borrow as u128;
+        Some(U256 { hi, lo })
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(self) -> Option<u128> {
+        (self.hi == 0).then_some(self.lo)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl core::fmt::Display for U256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.hi == 0 {
+            return write!(f, "{}", self.lo);
+        }
+        // Decimal formatting via repeated division by 10^19 (largest power
+        // of ten below 2^64). Only used in diagnostics; speed is irrelevant.
+        const CHUNK: u128 = 10_000_000_000_000_000_000; // 10^19
+        let mut digits = Vec::new();
+        let mut n = *self;
+        while !n.is_zero() {
+            let (q, r) = n.div_rem_small(CHUNK);
+            n = q;
+            digits.push(r);
+        }
+        let mut s = String::new();
+        for (i, d) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&d.to_string());
+            } else {
+                s.push_str(&format!("{:019}", d));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl U256 {
+    /// Divides by a small (`< 2¹²⁸`) divisor, returning `(quotient,
+    /// remainder)`. Long division over 64-bit half-limbs.
+    fn div_rem_small(self, d: u128) -> (U256, u128) {
+        assert!(d > 0, "division by zero");
+        // Process the four 64-bit limbs from most to least significant,
+        // carrying the remainder. Works when d < 2^64... for d up to 2^128
+        // we need 128-bit chunks with u128 remainder; use the schoolbook
+        // method over 64-bit limbs with a 128-bit running remainder, which
+        // requires d < 2^64 to avoid overflow. The only caller uses 10^19.
+        assert!(d < 1u128 << 64, "div_rem_small requires divisor < 2^64");
+        let limbs = [
+            (self.hi >> 64) as u64,
+            self.hi as u64,
+            (self.lo >> 64) as u64,
+            self.lo as u64,
+        ];
+        let mut out = [0u64; 4];
+        let mut rem: u128 = 0;
+        for (i, &limb) in limbs.iter().enumerate() {
+            let cur = (rem << 64) | limb as u128;
+            out[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        let q = U256 {
+            hi: ((out[0] as u128) << 64) | out[1] as u128,
+            lo: ((out[2] as u128) << 64) | out[3] as u128,
+        };
+        (q, rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(U256::mul_u128(0, 12345), U256::ZERO);
+        assert_eq!(U256::mul_u128(7, 6), U256::from_u128(42));
+        assert_eq!(
+            U256::mul_u128(u128::from(u64::MAX), u128::from(u64::MAX)),
+            U256::from_u128(u128::from(u64::MAX) * u128::from(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn mul_max_values() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let m = U256::mul_u128(u128::MAX, u128::MAX);
+        assert_eq!(m.lo, 1);
+        assert_eq!(m.hi, u128::MAX - 1);
+    }
+
+    #[test]
+    fn mul_powers_of_two() {
+        let m = U256::mul_u128(1 << 100, 1 << 100);
+        assert_eq!(m.hi, 1 << 72);
+        assert_eq!(m.lo, 0);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_limbs() {
+        let a = U256 { hi: 1, lo: 0 };
+        let b = U256 {
+            hi: 0,
+            lo: u128::MAX,
+        };
+        assert!(a > b);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::mul_u128(u128::MAX, 3);
+        let b = U256::mul_u128(u128::MAX, 5);
+        let s = a.checked_add(b).unwrap();
+        assert_eq!(s.checked_sub(b).unwrap(), a);
+        assert_eq!(s.checked_sub(a).unwrap(), b);
+        assert_eq!(U256::MAX.checked_add(U256::from_u128(1)), None);
+        assert_eq!(U256::ZERO.checked_sub(U256::from_u128(1)), None);
+        assert_eq!(U256::MAX.saturating_add(U256::from_u128(1)), U256::MAX);
+    }
+
+    #[test]
+    fn display_small_and_large() {
+        assert_eq!(U256::from_u128(0).to_string(), "0");
+        assert_eq!(U256::from_u128(12345).to_string(), "12345");
+        // 2^128 = 340282366920938463463374607431768211456
+        let v = U256 { hi: 1, lo: 0 };
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+        // 2^200 computed independently.
+        let v = U256::mul_u128(1 << 100, 1 << 100);
+        assert_eq!(
+            v.to_string(),
+            "1606938044258990275541962092341162602522202993782792835301376"
+        );
+    }
+
+    #[test]
+    fn to_u128_boundaries() {
+        assert_eq!(U256::from_u128(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!(U256 { hi: 1, lo: 0 }.to_u128(), None);
+    }
+}

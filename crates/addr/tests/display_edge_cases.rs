@@ -1,0 +1,130 @@
+//! Edge-case tests for textual round-tripping of ranges and addresses —
+//! the notation corners that RFC 5952 and the paper's wildcard syntax
+//! leave easy to get wrong.
+
+use sixgen_addr::{NybbleAddr, NybbleTree, Range};
+
+fn r(s: &str) -> Range {
+    s.parse().unwrap()
+}
+
+fn roundtrip(s: &str) -> String {
+    let range = r(s);
+    let printed = range.to_string();
+    assert_eq!(
+        printed.parse::<Range>().unwrap(),
+        range,
+        "display of {s} must reparse identically"
+    );
+    printed
+}
+
+#[test]
+fn all_zero_range_is_double_colon() {
+    assert_eq!(roundtrip("::"), "::");
+    assert_eq!(roundtrip("0:0:0:0:0:0:0:0"), "::");
+}
+
+#[test]
+fn single_zero_group_is_not_compressed() {
+    // RFC 5952 §4.2.2: one zero group must not become "::".
+    assert_eq!(roundtrip("2001:db8:0:1:1:1:1:1"), "2001:db8:0:1:1:1:1:1");
+}
+
+#[test]
+fn leftmost_longest_run_wins() {
+    // Two equal runs: compress the first.
+    assert_eq!(roundtrip("2001:0:0:1:0:0:1:1"), "2001::1:0:0:1:1");
+    // Longer second run: compress the second.
+    assert_eq!(roundtrip("2001:0:0:1:0:0:0:1"), "2001:0:0:1::1");
+}
+
+#[test]
+fn wildcard_groups_are_never_compressed() {
+    // A group with any wildcard is not a zero group even if it can be 0.
+    assert_eq!(roundtrip("::?"), "::?");
+    let printed = roundtrip("0:0:?:0:0:0:0:0");
+    assert!(printed.contains('?'), "{printed}");
+    // The zero groups after the wildcard compress instead.
+    assert_eq!(printed, "0:0:?::");
+}
+
+#[test]
+fn wildcards_at_the_edges() {
+    assert_eq!(roundtrip("?::"), "?::");
+    assert_eq!(roundtrip("::000?"), "::?");
+    assert_eq!(roundtrip("?::?"), "?::?");
+    assert_eq!(roundtrip("???0::"), "???0::");
+}
+
+#[test]
+fn bounded_sets_roundtrip_in_groups() {
+    assert_eq!(roundtrip("2001:db8::[1-2,8-a]"), "2001:db8::[1-2,8-a]");
+    assert_eq!(roundtrip("[0-7]111::"), "[0-7]111::");
+    // A set covering everything prints as the wildcard.
+    assert_eq!(roundtrip("2001:db8::[0-f]"), "2001:db8::?");
+}
+
+#[test]
+fn leading_zero_suppression_inside_groups() {
+    // 0?0? keeps its internal zeros but drops the leading one.
+    assert_eq!(roundtrip("2001:db8::0?0?"), "2001:db8::?0?");
+    // A fixed leading digit keeps everything.
+    assert_eq!(roundtrip("2001:db8::1?0?"), "2001:db8::1?0?");
+    // All-zero group in an uncompressible position prints as single 0.
+    assert_eq!(roundtrip("1:0:1:1:1:1:1:1"), "1:0:1:1:1:1:1:1");
+}
+
+#[test]
+fn full_wildcard_range() {
+    // A bare "?" group means 000? (leading zeros implied, like hex groups),
+    // so this is NOT the full address space.
+    assert_eq!(roundtrip("?:?:?:?:?:?:?:?"), "?:?:?:?:?:?:?:?");
+    assert_eq!(r("?:?:?:?:?:?:?:?").size(), 16u128.pow(8));
+    // The real full range needs four wildcards per group.
+    assert_eq!(
+        Range::full().to_string(),
+        "????:????:????:????:????:????:????:????"
+    );
+    assert_eq!(
+        Range::full().to_string().parse::<Range>().unwrap(),
+        Range::full()
+    );
+}
+
+#[test]
+fn addresses_with_many_groups_of_one_digit() {
+    for text in ["1:2:3:4:5:6:7:8", "::8", "1::", "0:1::2:0"] {
+        let addr: NybbleAddr = text.parse().unwrap();
+        assert_eq!(addr.to_string().parse::<NybbleAddr>().unwrap(), addr);
+    }
+}
+
+#[test]
+fn empty_tree_has_no_nearest() {
+    let tree = NybbleTree::new();
+    assert!(tree.nearest_outside(&Range::full()).is_none());
+    assert!(tree
+        .nearest_outside(&Range::from_address("::1".parse().unwrap()))
+        .is_none());
+    assert_eq!(tree.count_in_range(&Range::full()), 0);
+}
+
+#[test]
+fn singleton_range_iteration() {
+    let range = r("2001:db8::1");
+    let all: Vec<NybbleAddr> = range.iter().collect();
+    assert_eq!(all, vec!["2001:db8::1".parse().unwrap()]);
+    assert_eq!(range.iter().size_hint(), (1, Some(1)));
+}
+
+#[test]
+fn range_iterator_size_hint_matches_size() {
+    let range = r("2001:db8::[1-4]?");
+    assert_eq!(range.iter().size_hint(), (64, Some(64)));
+    let mut iter = range.iter();
+    iter.next();
+    // size_hint after consumption is allowed to stay at the total (it is
+    // only a hint), but must never be smaller than the remainder.
+    assert!(iter.size_hint().0 >= 1);
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for the address/range substrate.
+
+use proptest::prelude::*;
+use sixgen_addr::{compare_density, NybbleAddr, NybbleSet, NybbleTree, Prefix, Range, U256};
+
+fn arb_addr() -> impl Strategy<Value = NybbleAddr> {
+    any::<u128>().prop_map(NybbleAddr::from_bits)
+}
+
+/// Addresses clustered in a common /96 so ranges and trees see realistic
+/// shared-prefix structure.
+fn arb_clustered_addr() -> impl Strategy<Value = NybbleAddr> {
+    any::<u32>().prop_map(|low| {
+        NybbleAddr::from_bits(0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | low as u128)
+    })
+}
+
+fn arb_range() -> impl Strategy<Value = Range> {
+    // Build a range by expanding a singleton with a few addresses, randomly
+    // loose or tight per expansion.
+    (
+        arb_clustered_addr(),
+        prop::collection::vec((arb_clustered_addr(), any::<bool>()), 0..6),
+    )
+        .prop_map(|(first, grows)| {
+            let mut range = Range::from_address(first);
+            for (addr, loose) in grows {
+                range = if loose {
+                    range.expand_loose(addr)
+                } else {
+                    range.expand_tight(addr)
+                };
+            }
+            range
+        })
+}
+
+proptest! {
+    #[test]
+    fn address_text_roundtrip(addr in arb_addr()) {
+        let text = addr.to_string();
+        let back: NybbleAddr = text.parse().unwrap();
+        prop_assert_eq!(back, addr);
+    }
+
+    #[test]
+    fn address_nybble_array_roundtrip(addr in arb_addr()) {
+        prop_assert_eq!(NybbleAddr::from_nybbles(addr.nybbles()), addr);
+    }
+
+    #[test]
+    fn hamming_bounds_and_symmetry(a in arb_addr(), b in arb_addr()) {
+        let d = a.hamming(b);
+        prop_assert_eq!(d, b.hamming(a));
+        prop_assert!(d <= 32);
+        prop_assert_eq!(d == 0, a == b);
+        // Bit distance is between nybble distance and 4x nybble distance.
+        let bits = a.hamming_bits(b);
+        prop_assert!(bits >= d && bits <= 4 * d);
+    }
+
+    #[test]
+    fn range_text_roundtrip(range in arb_range()) {
+        let text = range.to_string();
+        let back: Range = text.parse().unwrap();
+        prop_assert_eq!(back, range);
+    }
+
+    #[test]
+    fn expansion_covers_and_grows(range in arb_range(), addr in arb_clustered_addr()) {
+        for grown in [range.expand_loose(addr), range.expand_tight(addr)] {
+            prop_assert!(grown.contains(addr));
+            prop_assert!(range.is_subset(&grown));
+            prop_assert!(grown.size() >= range.size());
+            prop_assert_eq!(grown.distance(addr), 0);
+        }
+        // Tight expansion is minimal: it is a subset of the loose one.
+        prop_assert!(range.expand_tight(addr).is_subset(&range.expand_loose(addr)));
+    }
+
+    #[test]
+    fn membership_iff_distance_zero(range in arb_range(), addr in arb_clustered_addr()) {
+        prop_assert_eq!(range.contains(addr), range.distance(addr) == 0);
+    }
+
+    #[test]
+    fn distance_drops_by_at_most_one_per_expansion(range in arb_range(), addr in arb_clustered_addr()) {
+        // Each expansion by some other address can reduce the distance to
+        // `addr` by at most the number of positions it wildcards, and the
+        // tight expansion by `addr` itself reduces it to zero.
+        let d = range.distance(addr);
+        let grown = range.expand_tight(addr);
+        prop_assert_eq!(grown.distance(addr), 0);
+        prop_assert!(grown.size() >= range.size());
+        // Distance equals number of positions whose set misses addr.
+        let mismatches = (0..32).filter(|&i| !range.set(i).contains(addr.nybble(i))).count() as u32;
+        prop_assert_eq!(d, mismatches);
+    }
+
+    #[test]
+    fn size_matches_enumeration_for_small_ranges(range in arb_range()) {
+        prop_assume!(range.size() <= 4096);
+        let addrs: Vec<NybbleAddr> = range.iter().collect();
+        prop_assert_eq!(addrs.len() as u128, range.size());
+        // All members, all distinct, sorted.
+        for w in addrs.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for a in &addrs {
+            prop_assert!(range.contains(*a));
+        }
+    }
+
+    #[test]
+    fn nth_index_roundtrip(range in arb_range(), idx_seed in any::<u64>()) {
+        let size = range.size();
+        prop_assume!(size < u128::MAX);
+        let idx = idx_seed as u128 % size;
+        let addr = range.nth(idx);
+        prop_assert_eq!(range.index_of(addr), Some(idx));
+        prop_assert!(range.contains(addr));
+    }
+
+    #[test]
+    fn union_is_commutative_cover(r1 in arb_range(), r2 in arb_range()) {
+        let u = r1.union(&r2);
+        prop_assert_eq!(&u, &r2.union(&r1));
+        prop_assert!(r1.is_subset(&u));
+        prop_assert!(r2.is_subset(&u));
+    }
+
+    #[test]
+    fn intersection_agrees_with_membership(r1 in arb_range(), r2 in arb_range(), addr in arb_clustered_addr()) {
+        let both = r1.contains(addr) && r2.contains(addr);
+        match r1.intersection(&r2) {
+            Some(i) => prop_assert_eq!(i.contains(addr), both),
+            None => prop_assert!(!both),
+        }
+        prop_assert_eq!(r1.intersects(&r2), r1.intersection(&r2).is_some());
+    }
+
+    #[test]
+    fn subset_implies_smaller_size(r1 in arb_range(), r2 in arb_range()) {
+        if r1.is_subset(&r2) {
+            prop_assert!(r1.size() <= r2.size());
+        }
+    }
+
+    #[test]
+    fn loosen_is_superset_and_loose(range in arb_range()) {
+        let loose = range.loosen();
+        prop_assert!(range.is_subset(&loose));
+        prop_assert!(loose.is_loose());
+        // Loosening is idempotent.
+        prop_assert_eq!(&loose.loosen(), &loose);
+    }
+
+    #[test]
+    fn tree_agrees_with_naive_membership_and_counts(
+        addrs in prop::collection::vec(arb_clustered_addr(), 1..80),
+        range in arb_range(),
+    ) {
+        let tree = NybbleTree::from_addresses(addrs.iter().copied());
+        let mut uniq = addrs.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(tree.len(), uniq.len());
+        let naive_count = uniq.iter().filter(|a| range.contains(**a)).count() as u64;
+        prop_assert_eq!(tree.count_in_range(&range), naive_count);
+        let mut collected = tree.collect_in_range(&range);
+        collected.sort();
+        let naive: Vec<_> = uniq.iter().copied().filter(|a| range.contains(*a)).collect();
+        prop_assert_eq!(collected, naive);
+    }
+
+    #[test]
+    fn tree_nearest_matches_naive(
+        addrs in prop::collection::vec(arb_clustered_addr(), 1..60),
+        range in arb_range(),
+    ) {
+        let tree = NybbleTree::from_addresses(addrs.iter().copied());
+        let mut uniq = addrs.clone();
+        uniq.sort();
+        uniq.dedup();
+        let naive_min = uniq.iter().filter(|a| !range.contains(**a)).map(|a| range.distance(*a)).min();
+        match tree.nearest_outside(&range) {
+            None => prop_assert_eq!(naive_min, None),
+            Some((d, mut seeds)) => {
+                prop_assert_eq!(Some(d), naive_min);
+                seeds.sort();
+                let expect: Vec<_> = uniq
+                    .iter()
+                    .copied()
+                    .filter(|a| !range.contains(*a) && range.distance(*a) == d)
+                    .collect();
+                prop_assert_eq!(seeds, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_range(addr in arb_addr(), len4 in 0u8..=32) {
+        let len = len4 * 4;
+        let prefix = Prefix::new(addr, len);
+        let range = prefix.to_range().unwrap();
+        prop_assert_eq!(range.size(), prefix.size());
+        prop_assert!(prefix.contains(addr));
+        prop_assert!(range.contains(addr));
+    }
+
+    #[test]
+    fn prefix_text_roundtrip(addr in arb_addr(), len in 0u8..=128) {
+        let prefix = Prefix::new(addr, len);
+        let back: Prefix = prefix.to_string().parse().unwrap();
+        prop_assert_eq!(back, prefix);
+    }
+
+    #[test]
+    fn u256_mul_matches_u128_when_small(a in any::<u64>(), b in any::<u64>()) {
+        let exact = (a as u128) * (b as u128);
+        prop_assert_eq!(U256::mul_u128(a as u128, b as u128), U256::from_u128(exact));
+    }
+
+    #[test]
+    fn u256_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>(), c in any::<u128>(), d in any::<u128>()) {
+        let x = U256::mul_u128(a, b);
+        let y = U256::mul_u128(c, d);
+        if let Some(s) = x.checked_add(y) {
+            prop_assert_eq!(s.checked_sub(y), Some(x));
+            prop_assert_eq!(s.checked_sub(x), Some(y));
+            prop_assert!(s >= x && s >= y);
+        }
+    }
+
+    #[test]
+    fn density_comparison_matches_floats_when_safe(
+        c1 in 1u64..1_000_000, s1 in 1u128..1_000_000_000,
+        c2 in 1u64..1_000_000, s2 in 1u128..1_000_000_000,
+    ) {
+        // In ranges where f64 is exact (products < 2^53), the exact
+        // comparison must agree with floating point.
+        let exact = compare_density(c1, s1, c2, s2);
+        let float = (c1 as f64 / s1 as f64).partial_cmp(&(c2 as f64 / s2 as f64)).unwrap();
+        if (c1 as u128) * s2 < (1u128 << 53) && (c2 as u128) * s1 < (1u128 << 53) {
+            prop_assert_eq!(exact, float);
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_inside(range in arb_range(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            prop_assert!(range.contains(range.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn nybbleset_display_roundtrip_via_range(mask in 1u16..=0xFFFF) {
+        // Wrap a set into a range's last position and round-trip the text.
+        let set = NybbleSet::from_mask(mask);
+        let mut sets = [NybbleSet::single(0); 32];
+        sets[31] = set;
+        let range = Range::from_sets(sets);
+        let back: Range = range.to_string().parse().unwrap();
+        prop_assert_eq!(back.set(31), set);
+    }
+}

@@ -1,0 +1,173 @@
+//! Dense-prefix target generation in the style of Plonka & Berger's
+//! Multi-Resolution Aggregate analysis (§3.2 of the paper):
+//!
+//! > "They also introduced a method for identifying dense network prefixes
+//! > from the given addresses that can be leveraged for scanning. We note
+//! > that while 6Gen is similarly density-driven, it considers any address
+//! > space region, beyond just network prefixes."
+//!
+//! [`aggregate_counts`] computes the MRA-style seed counts per aggregate at
+//! one prefix length; [`dense_prefix_targets`] ranks aggregates by density
+//! and spends a budget on the densest prefixes first. The contrast with
+//! 6Gen is exactly the paper's: aggregates must sit on power-of-two prefix
+//! boundaries, while 6Gen's nybble rectangles can capture, e.g., a port
+//! embedded in the low 16 bits across many subnets.
+
+use rand::rngs::StdRng;
+use sixgen_addr::{NybbleAddr, Prefix, Range, RangeSampler};
+use std::collections::HashMap;
+
+/// Counts seeds per aggregate (prefix of length `len`), the core of an MRA
+/// row. Returned sorted by descending count, then by prefix.
+pub fn aggregate_counts(seeds: &[NybbleAddr], len: u8) -> Vec<(Prefix, usize)> {
+    let mut counts: HashMap<Prefix, usize> = HashMap::new();
+    for &seed in seeds {
+        *counts.entry(Prefix::of(seed, len)).or_default() += 1;
+    }
+    let mut out: Vec<(Prefix, usize)> = counts.into_iter().collect();
+    out.sort_by_key(|&(prefix, count)| (std::cmp::Reverse(count), prefix));
+    out
+}
+
+/// The full multi-resolution profile: the number of distinct aggregates at
+/// each of the given prefix lengths. A sharp drop between adjacent lengths
+/// reveals the allocation boundary (e.g. many /64s collapsing into few
+/// /48s exposes per-customer /48 delegation).
+pub fn mra_profile(seeds: &[NybbleAddr], lens: &[u8]) -> Vec<(u8, usize)> {
+    lens.iter()
+        .map(|&len| {
+            let mut prefixes: Vec<Prefix> =
+                seeds.iter().map(|&s| Prefix::of(s, len)).collect();
+            prefixes.sort_unstable();
+            prefixes.dedup();
+            (len, prefixes.len())
+        })
+        .collect()
+}
+
+/// Generates up to `budget` distinct targets by scanning aggregates of
+/// length `len` in descending seed-density order. Aggregates small enough
+/// to enumerate are enumerated; larger ones are sampled uniformly, with
+/// each aggregate receiving a budget share proportional to its seed count.
+///
+/// # Panics
+/// Panics if `len` is not a multiple of 4 (aggregates must be
+/// nybble-aligned to convert to ranges) or `len > 128`.
+pub fn dense_prefix_targets(
+    seeds: &[NybbleAddr],
+    len: u8,
+    budget: usize,
+    rng: &mut StdRng,
+) -> Vec<NybbleAddr> {
+    assert!(len <= 128 && len % 4 == 0, "aggregate length must be nybble-aligned");
+    if budget == 0 || seeds.is_empty() {
+        return Vec::new();
+    }
+    let ranked = aggregate_counts(seeds, len);
+    let total_seeds: usize = ranked.iter().map(|&(_, c)| c).sum();
+    let mut out: Vec<NybbleAddr> = Vec::with_capacity(budget);
+    let mut seen: std::collections::HashSet<NybbleAddr> = std::collections::HashSet::new();
+    for (prefix, count) in ranked {
+        if out.len() >= budget {
+            break;
+        }
+        let share = ((budget as f64 * count as f64 / total_seeds as f64).ceil() as usize)
+            .min(budget - out.len());
+        let range: Range = prefix
+            .to_range()
+            .expect("nybble-aligned aggregate converts to a range");
+        if range.size() <= share as u128 {
+            for addr in range.iter() {
+                if seen.insert(addr) {
+                    out.push(addr);
+                }
+            }
+        } else {
+            let mut sampler = RangeSampler::new(range);
+            for addr in sampler.draw(rng, share, |a| seen.contains(&a)) {
+                seen.insert(addr);
+                out.push(addr);
+            }
+        }
+    }
+    out.truncate(budget);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    fn seeds() -> Vec<NybbleAddr> {
+        let mut v = Vec::new();
+        // Dense /120: 30 seeds.
+        for i in 0..30u32 {
+            v.push(NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128));
+        }
+        // Sparse /120 elsewhere: 2 seeds.
+        v.push(a("2001:db8:ffff::1"));
+        v.push(a("2001:db8:ffff::2"));
+        v
+    }
+
+    #[test]
+    fn aggregate_counts_ranks_by_density() {
+        let ranked = aggregate_counts(&seeds(), 120);
+        assert_eq!(ranked[0].1, 30);
+        assert_eq!(ranked[0].0, "2001:db8::/120".parse().unwrap());
+        assert_eq!(ranked[1].1, 2);
+    }
+
+    #[test]
+    fn mra_profile_shows_aggregation_boundary() {
+        let profile = mra_profile(&seeds(), &[128, 120, 48, 32]);
+        assert_eq!(profile[0], (128, 32), "all addresses distinct");
+        assert_eq!(profile[1], (120, 2), "two /120 aggregates");
+        assert_eq!(profile[2], (48, 2));
+        assert_eq!(profile[3], (32, 1), "one routed /32");
+    }
+
+    #[test]
+    fn dense_prefix_targets_prioritize_dense_aggregates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = dense_prefix_targets(&seeds(), 120, 256, &mut rng);
+        assert_eq!(targets.len(), 256);
+        let dense: Prefix = "2001:db8::/120".parse().unwrap();
+        let in_dense = targets.iter().filter(|t| dense.contains(**t)).count();
+        assert!(in_dense >= 230, "only {in_dense} targets in the dense /120");
+        // Distinct.
+        let uniq: std::collections::HashSet<_> = targets.iter().collect();
+        assert_eq!(uniq.len(), targets.len());
+    }
+
+    #[test]
+    fn small_aggregates_are_enumerated_fully() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // /124 aggregates (16 addresses) with generous budget: both
+        // aggregates fully enumerated.
+        let two = vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8:f::8")];
+        let targets = dense_prefix_targets(&two, 124, 1000, &mut rng);
+        assert_eq!(targets.len(), 32);
+        assert!(targets.contains(&a("2001:db8::f")));
+        assert!(targets.contains(&a("2001:db8:f::0")));
+    }
+
+    #[test]
+    fn budget_zero_and_empty_seeds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(dense_prefix_targets(&seeds(), 120, 0, &mut rng).is_empty());
+        assert!(dense_prefix_targets(&[], 120, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nybble-aligned")]
+    fn non_aligned_length_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        dense_prefix_targets(&seeds(), 99, 10, &mut rng);
+    }
+}

@@ -1,0 +1,91 @@
+//! # sixgen-baselines — pattern-based target generation baselines
+//!
+//! The comparison algorithms discussed in §3.3 of the paper besides
+//! Entropy/IP:
+//!
+//! * [`ullrich`] — the recursive bit-fixing algorithm of Ullrich et al.
+//!   (ARES 2015): starting from a user-supplied address range, repeatedly
+//!   fix the (bit, value) pair matching the most seeds until only `N`
+//!   undetermined bits remain; the final range is the target list. Unlike
+//!   6Gen it "can only output ranges of constant size … and requires an
+//!   initial range as input".
+//! * [`low_byte`] — RFC 7707-style low-order-byte prediction: vary the low
+//!   bits of each seed address.
+//! * [`dense_prefix`] — Plonka & Berger-style density-ranked prefix
+//!   aggregates (Multi-Resolution Aggregate analysis, §3.2).
+//! * [`random_prefix_targets`] — brute-force guessing inside a prefix, the
+//!   strawman both papers compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense_prefix;
+pub mod low_byte;
+pub mod ullrich;
+
+pub use dense_prefix::{aggregate_counts, dense_prefix_targets, mra_profile};
+pub use low_byte::low_byte_targets;
+pub use ullrich::{ullrich_targets, BitRange, UllrichOutcome};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sixgen_addr::{NybbleAddr, Prefix};
+use std::collections::HashSet;
+
+/// Brute-force baseline: `budget` distinct uniformly-random addresses
+/// inside `prefix`. On any realistically-sized prefix its hit rate is
+/// effectively zero — the paper's motivating observation that "a
+/// brute-force approach does not scale to IPv6" (§1).
+pub fn random_prefix_targets(prefix: Prefix, budget: usize, rng: &mut StdRng) -> Vec<NybbleAddr> {
+    let host_bits = 128 - prefix.len() as u32;
+    let space = if host_bits >= 128 {
+        u128::MAX
+    } else {
+        1u128 << host_bits
+    };
+    let mut out = Vec::with_capacity(budget.min(space.min(1 << 24) as usize));
+    let mut seen = HashSet::new();
+    let want = (budget as u128).min(space) as usize;
+    let mut attempts: u64 = 0;
+    let max_attempts = (want as u64).saturating_mul(64).max(4096);
+    while out.len() < want && attempts < max_attempts {
+        attempts += 1;
+        let noise = if host_bits == 0 {
+            0
+        } else if host_bits >= 128 {
+            rng.gen::<u128>()
+        } else {
+            rng.gen::<u128>() & ((1u128 << host_bits) - 1)
+        };
+        let addr = NybbleAddr::from_bits(prefix.network().bits() | noise);
+        if seen.insert(addr) {
+            out.push(addr);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_prefix_targets_distinct_and_contained() {
+        let prefix: Prefix = "2001:db8::/64".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = random_prefix_targets(prefix, 500, &mut rng);
+        assert_eq!(targets.len(), 500);
+        let uniq: HashSet<_> = targets.iter().collect();
+        assert_eq!(uniq.len(), 500);
+        assert!(targets.iter().all(|t| prefix.contains(*t)));
+    }
+
+    #[test]
+    fn random_prefix_exhausts_tiny_prefixes() {
+        let prefix: Prefix = "2001:db8::/126".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = random_prefix_targets(prefix, 100, &mut rng);
+        assert_eq!(targets.len(), 4, "a /126 has four addresses");
+    }
+}

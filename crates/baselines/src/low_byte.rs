@@ -1,0 +1,98 @@
+//! RFC 7707 low-byte prediction: "varying the low-order bytes of seed
+//! addresses" (§3.3 of the paper), the simplest useful TGA.
+
+use sixgen_addr::NybbleAddr;
+use std::collections::HashSet;
+
+/// Generates up to `budget` distinct targets by sweeping the low
+/// `span_bits` bits of every seed.
+///
+/// Seeds are processed round-robin in increasing offset order (offset 0,
+/// then 1, …) so the budget spreads evenly over seeds rather than
+/// exhausting the first seed's neighborhood — matching how RFC 7707
+/// reconnaissance is performed in practice. Seed addresses themselves are
+/// included (offset layouts usually cover them).
+///
+/// # Panics
+/// Panics if `span_bits > 24` (the neighborhood would exceed 2²⁴ per
+/// seed).
+pub fn low_byte_targets(seeds: &[NybbleAddr], budget: usize, span_bits: u32) -> Vec<NybbleAddr> {
+    assert!(span_bits <= 24, "low-byte span too large");
+    if budget == 0 || seeds.is_empty() {
+        return Vec::new();
+    }
+    let span: u64 = 1 << span_bits;
+    let mut out = Vec::with_capacity(budget.min(seeds.len() << span_bits.min(16)));
+    let mut seen: HashSet<NybbleAddr> = HashSet::new();
+    // Distinct seed neighborhoods (two seeds in the same low-span window
+    // generate the same block).
+    let mut bases: Vec<u128> = seeds
+        .iter()
+        .map(|s| s.bits() & !((span as u128) - 1))
+        .collect();
+    bases.sort_unstable();
+    bases.dedup();
+    'outer: for offset in 0..span {
+        for &base in &bases {
+            let addr = NybbleAddr::from_bits(base | offset as u128);
+            if seen.insert(addr) {
+                out.push(addr);
+                if out.len() >= budget {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn sweeps_low_bits_of_each_seed() {
+        let seeds = vec![a("2001:db8::42"), a("2001:db8:1::99")];
+        let targets = low_byte_targets(&seeds, 1000, 8);
+        assert_eq!(targets.len(), 512, "two /120 windows");
+        assert!(targets.contains(&a("2001:db8::")));
+        assert!(targets.contains(&a("2001:db8::ff")));
+        assert!(targets.contains(&a("2001:db8:1::")));
+        assert!(targets.contains(&a("2001:db8:1::ff")));
+        assert!(targets.contains(&a("2001:db8::42")), "seed covered");
+    }
+
+    #[test]
+    fn budget_spreads_round_robin() {
+        let seeds = vec![a("2001:db8::42"), a("2001:db8:1::99")];
+        let targets = low_byte_targets(&seeds, 10, 8);
+        assert_eq!(targets.len(), 10);
+        // Both neighborhoods are touched despite the tiny budget.
+        let first = targets.iter().filter(|t| t.bits() >> 64 == 0x2001_0db8_0000_0000).count();
+        let second = targets.len() - first;
+        assert_eq!(first, 5);
+        assert_eq!(second, 5);
+    }
+
+    #[test]
+    fn overlapping_windows_deduplicate() {
+        // Two seeds in the same /120: one window only.
+        let seeds = vec![a("2001:db8::1"), a("2001:db8::fe")];
+        let targets = low_byte_targets(&seeds, 1000, 8);
+        assert_eq!(targets.len(), 256);
+    }
+
+    #[test]
+    fn empty_seeds_empty_targets() {
+        assert!(low_byte_targets(&[], 100, 8).is_empty());
+    }
+
+    #[test]
+    fn zero_budget() {
+        assert!(low_byte_targets(&[a("::1")], 0, 8).is_empty());
+    }
+}

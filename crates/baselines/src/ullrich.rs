@@ -1,0 +1,267 @@
+//! The recursive bit-fixing algorithm of Ullrich et al. (ARES 2015), as
+//! described in §3.3 of the 6Gen paper:
+//!
+//! > "The algorithm requires a user-specified address range to start, with
+//! > at least one bit determined. Then in each level of recursion, the
+//! > algorithm finds all seed addresses encapsulated by the current range,
+//! > and identifies which bit and value pair matches the largest number of
+//! > such seeds. It sets that bit in the current range to the corresponding
+//! > value, and recurses until only N undetermined bits remain. The
+//! > addresses in the final range are used as scan targets."
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sixgen_addr::NybbleAddr;
+
+/// A bit-granular address range: `mask` marks determined bits and `value`
+/// their values (undetermined bits of `value` are zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitRange {
+    /// 1-bits are determined.
+    pub mask: u128,
+    /// Values of the determined bits.
+    pub value: u128,
+}
+
+impl BitRange {
+    /// A range with all 128 bits undetermined (the whole address space).
+    pub const UNDETERMINED: BitRange = BitRange { mask: 0, value: 0 };
+
+    /// Builds a range from a CIDR-style prefix: the top `len` bits of
+    /// `network` are determined.
+    pub fn from_prefix(network: NybbleAddr, len: u8) -> BitRange {
+        assert!(len <= 128);
+        let mask = if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len as u32)
+        };
+        BitRange {
+            mask,
+            value: network.bits() & mask,
+        }
+    }
+
+    /// Number of undetermined bits.
+    pub fn undetermined_bits(self) -> u32 {
+        self.mask.count_zeros()
+    }
+
+    /// Number of addresses in the range (saturates at `u128::MAX` for the
+    /// fully undetermined range).
+    pub fn size(self) -> u128 {
+        match self.undetermined_bits() {
+            128 => u128::MAX,
+            n => 1u128 << n,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(self, addr: NybbleAddr) -> bool {
+        addr.bits() & self.mask == self.value
+    }
+
+    /// The range with bit `bit` (0 = most significant) fixed to `bit_value`.
+    pub fn with_bit(self, bit: u32, bit_value: bool) -> BitRange {
+        let m = 1u128 << (127 - bit);
+        BitRange {
+            mask: self.mask | m,
+            value: if bit_value { self.value | m } else { self.value & !m },
+        }
+    }
+
+    /// Enumerates every address in the range. Intended for final ranges
+    /// with few undetermined bits (2^N targets).
+    pub fn addresses(self) -> Vec<NybbleAddr> {
+        let free: Vec<u32> = (0..128).filter(|&b| self.mask & (1u128 << (127 - b)) == 0).collect();
+        assert!(
+            free.len() <= 24,
+            "refusing to enumerate 2^{} addresses",
+            free.len()
+        );
+        let mut out = Vec::with_capacity(1 << free.len());
+        for combo in 0..(1u64 << free.len()) {
+            let mut bits = self.value;
+            for (i, &b) in free.iter().enumerate() {
+                if combo & (1 << i) != 0 {
+                    bits |= 1u128 << (127 - b);
+                }
+            }
+            out.push(NybbleAddr::from_bits(bits));
+        }
+        out
+    }
+
+    /// Draws one address uniformly from the range.
+    pub fn sample(self, rng: &mut StdRng) -> NybbleAddr {
+        let noise = rng.gen::<u128>() & !self.mask;
+        NybbleAddr::from_bits(self.value | noise)
+    }
+}
+
+/// Result of a run: the final range and the number of seeds it retained.
+#[derive(Debug, Clone)]
+pub struct UllrichOutcome {
+    /// The fully-narrowed range (2^N addresses).
+    pub range: BitRange,
+    /// Seeds still encapsulated by the final range.
+    pub seeds_in_range: usize,
+}
+
+impl UllrichOutcome {
+    /// The target addresses (all addresses of the final range).
+    pub fn targets(&self) -> Vec<NybbleAddr> {
+        self.range.addresses()
+    }
+}
+
+/// Runs the recursive narrowing from `start` until only
+/// `undetermined_bits` remain undetermined.
+///
+/// Ties between equally-matching (bit, value) pairs resolve toward the
+/// most significant bit and value 0, making runs deterministic.
+///
+/// # Panics
+/// Panics if `start` has no determined bit (the paper requires at least
+/// one) or `undetermined_bits > 24` (enumerating more than 2²⁴ targets is
+/// refused).
+pub fn ullrich_targets(
+    seeds: &[NybbleAddr],
+    start: BitRange,
+    undetermined_bits: u32,
+) -> UllrichOutcome {
+    assert!(start.mask != 0, "start range must have a determined bit");
+    assert!(undetermined_bits <= 24, "final range too large to enumerate");
+    let mut range = start;
+    let mut inside: Vec<NybbleAddr> = seeds.iter().copied().filter(|s| range.contains(*s)).collect();
+    while range.undetermined_bits() > undetermined_bits {
+        // Count, for every undetermined bit, how many in-range seeds have
+        // it set; the best (bit, value) pair maximizes matches.
+        let mut best_bit = 0u32;
+        let mut best_value = false;
+        let mut best_matches = -1i64;
+        for bit in 0..128u32 {
+            let m = 1u128 << (127 - bit);
+            if range.mask & m != 0 {
+                continue;
+            }
+            let ones = inside.iter().filter(|s| s.bits() & m != 0).count() as i64;
+            let zeros = inside.len() as i64 - ones;
+            for (value, matches) in [(false, zeros), (true, ones)] {
+                if matches > best_matches {
+                    best_matches = matches;
+                    best_bit = bit;
+                    best_value = value;
+                }
+            }
+        }
+        range = range.with_bit(best_bit, best_value);
+        inside.retain(|s| range.contains(*s));
+    }
+    UllrichOutcome {
+        range,
+        seeds_in_range: inside.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn bitrange_basics() {
+        let r = BitRange::from_prefix(a("2001:db8::"), 32);
+        assert_eq!(r.undetermined_bits(), 96);
+        assert_eq!(r.size(), 1u128 << 96);
+        assert!(r.contains(a("2001:db8::1")));
+        assert!(!r.contains(a("2001:db9::1")));
+        assert_eq!(BitRange::UNDETERMINED.size(), u128::MAX);
+    }
+
+    #[test]
+    fn with_bit_fixes_one_bit() {
+        let r = BitRange::from_prefix(a("2001:db8::"), 32).with_bit(127, true);
+        assert!(r.contains(a("2001:db8::1")));
+        assert!(!r.contains(a("2001:db8::2")));
+        assert_eq!(r.undetermined_bits(), 95);
+    }
+
+    #[test]
+    fn addresses_enumerates_final_range() {
+        let r = BitRange::from_prefix(a("2001:db8::"), 126);
+        let addrs = r.addresses();
+        assert_eq!(addrs.len(), 4);
+        assert!(addrs.contains(&a("2001:db8::")));
+        assert!(addrs.contains(&a("2001:db8::3")));
+    }
+
+    #[test]
+    fn narrows_to_dense_region() {
+        // 20 seeds in 2001:db8::1xx, 2 stragglers elsewhere: narrowing to
+        // 8 undetermined bits must land on the ::1xx region.
+        let mut seeds: Vec<NybbleAddr> = (0..20u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | 0x100 | i as u128))
+            .collect();
+        seeds.push(a("2001:db8::9999"));
+        seeds.push(a("2001:db8:ffff::1"));
+        let start = BitRange::from_prefix(a("2001:db8::"), 32);
+        let outcome = ullrich_targets(&seeds, start, 8);
+        assert_eq!(outcome.range.undetermined_bits(), 8);
+        assert_eq!(outcome.seeds_in_range, 20);
+        let targets = outcome.targets();
+        assert_eq!(targets.len(), 256);
+        // All 20 dense seeds are covered.
+        for i in 0..20u32 {
+            let s = NybbleAddr::from_bits(0x2001_0db8u128 << 96 | 0x100 | i as u128);
+            assert!(outcome.range.contains(s));
+        }
+    }
+
+    #[test]
+    fn respects_fixed_output_size_limitation() {
+        // §3.3: "it can only output ranges of constant size (dependent on
+        // the parameter N)" — whatever the seeds, the output is 2^N.
+        let seeds = vec![a("2001:db8::1")];
+        let start = BitRange::from_prefix(a("2001:db8::"), 32);
+        for n in [0u32, 4, 10] {
+            let outcome = ullrich_targets(&seeds, start, n);
+            assert_eq!(outcome.range.size(), 1u128 << n);
+        }
+    }
+
+    #[test]
+    fn empty_seed_set_still_narrows_deterministically() {
+        let start = BitRange::from_prefix(a("2001:db8::"), 32);
+        let outcome = ullrich_targets(&[], start, 4);
+        assert_eq!(outcome.range.undetermined_bits(), 4);
+        assert_eq!(outcome.seeds_in_range, 0);
+        // Tie-breaking fixes bits to zero from the most significant side.
+        assert!(outcome.range.contains(a("2001:db8::")));
+    }
+
+    #[test]
+    fn sample_stays_in_range() {
+        let r = BitRange::from_prefix(a("2001:db8::"), 48);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "determined bit")]
+    fn start_without_determined_bits_rejected() {
+        ullrich_targets(&[], BitRange::UNDETERMINED, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn oversized_enumeration_rejected() {
+        BitRange::from_prefix(a("2001:db8::"), 32).addresses();
+    }
+}

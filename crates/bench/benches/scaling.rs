@@ -1,0 +1,45 @@
+//! Criterion counterpart of Figure 2: full 6Gen runs at increasing seed
+//! counts (structured, hosting-provider-style prefixes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sixgen_addr::NybbleAddr;
+use sixgen_core::{Config, SixGen};
+
+fn structured_seeds(count: usize, seed: u64) -> Vec<NybbleAddr> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let subnet = (i % 48) as u128;
+            let host = (i / 48 + 1) as u128;
+            let noise: u128 = if i % 9 == 0 { rng.gen::<u8>() as u128 } else { 0 };
+            NybbleAddr::from_bits((0x2600_3c00u128 << 96) | (subnet << 64) | host | (noise << 12))
+        })
+        .collect()
+}
+
+fn bench_sixgen_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sixgen_full_run");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 5_000] {
+        let seeds = structured_seeds(n, 1);
+        group.bench_with_input(BenchmarkId::new("seeds", n), &seeds, |b, seeds| {
+            b.iter(|| {
+                SixGen::new(
+                    seeds.iter().copied(),
+                    Config {
+                        budget: 20_000,
+                        threads: 1,
+                        ..Config::default()
+                    },
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sixgen_scaling);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENTS
+//!   fig2      runtime scaling
+//!   fig3      AS-level CDFs (alias of table1)
+//!   fig4      hits vs budget
+//!   fig5      cluster-count CDFs
+//!   fig6      dynamic-nybble positions
+//!   fig7      hits per prefix by seed bucket
+//!   fig8      CDN train-and-test (6Gen vs Entropy/IP)
+//!   fig9      CDN active scans (6Gen vs Entropy/IP)
+//!   table1    top ASes by seeds / aliased / non-aliased hits
+//!   table2    seed downsampling
+//!   tight     tight vs loose ranges (§6.3)
+//!   hosttype  NS-only seeds (§6.7.1)
+//!   dealias   alias survey (§6.2)
+//!   adaptive  §8 scanner-integration extension
+//!   budgetpolicy  §8 budget-allocation ablation
+//!   eipranked  §7.1 budget-aware Entropy/IP ablation
+//!   all       everything above
+//!
+//! OPTIONS
+//!   --scale <f64>    world scale factor           (default 1.0)
+//!   --budget <u64>   per-prefix probe budget      (default 50000)
+//!   --results <dir>  TSV output directory         (default results)
+//!   --threads <n>    6Gen worker threads, 0=auto  (default 0)
+//!   --quick          reduced sweeps for smoke runs
+//! ```
+
+use sixgen_bench::experiments::{
+    self, adaptive_loop, budget_policy, cdn_compare, dealias_survey, eip_ranked, fig2_runtime, fig4_budget, fig5_clusters,
+    fig6_nybbles, fig7_hits, host_type, table1_ases, table2_downsampling, tight_vs_loose,
+    ExperimentOptions,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = ExperimentOptions::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget" => {
+                opts.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--results" => {
+                opts.results_dir = args.next().map(Into::into).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => wanted.push(name.to_owned()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+
+    for name in &wanted {
+        match name.as_str() {
+            "fig2" => fig2_runtime::run(&opts),
+            "fig3" | "table1" => {
+                table1_ases::run(&opts);
+            }
+            "fig4" => fig4_budget::run(&opts),
+            "fig5" | "fig6" | "fig7" => {
+                // These three share one pipeline run.
+                let run = table1_ases::run(&opts);
+                match name.as_str() {
+                    "fig5" => fig5_clusters::run(&opts, &run),
+                    "fig6" => fig6_nybbles::run(&opts, &run),
+                    _ => fig7_hits::run(&opts, &run),
+                }
+            }
+            "fig8" => cdn_compare::run_train_test(&opts),
+            "fig9" => cdn_compare::run_active_scans(&opts),
+            "table2" => table2_downsampling::run(&opts),
+            "tight" => tight_vs_loose::run(&opts),
+            "hosttype" => host_type::run(&opts),
+            "dealias" => dealias_survey::run(&opts),
+            "adaptive" => adaptive_loop::run(&opts),
+            "budgetpolicy" => budget_policy::run(&opts),
+            "eipranked" => eip_ranked::run(&opts),
+            "all" => run_all(&opts),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        }
+    }
+    experiments::banner_done(&opts);
+}
+
+fn run_all(opts: &ExperimentOptions) {
+    fig2_runtime::run(opts);
+    // One pipeline run shared by table1/fig3/fig5/fig6/fig7.
+    let run = table1_ases::run(opts);
+    fig5_clusters::run(opts, &run);
+    fig6_nybbles::run(opts, &run);
+    fig7_hits::run(opts, &run);
+    drop(run);
+    fig4_budget::run(opts);
+    dealias_survey::run(opts);
+    tight_vs_loose::run(opts);
+    host_type::run(opts);
+    table2_downsampling::run(opts);
+    adaptive_loop::run(opts);
+    budget_policy::run(opts);
+    eip_ranked::run(opts);
+    cdn_compare::run(opts);
+}

@@ -1,0 +1,202 @@
+//! **§8 extension** — budget allocation policies across routed prefixes.
+//!
+//! The paper scans every prefix with the same budget and asks: "it might be
+//! natural to allocate budgets differently … dependent on the number of
+//! seeds within, or the size of the prefix itself. This may heavily skew
+//! the target generation towards denser networks though, trading off
+//! diversity for number of active addresses found."
+//!
+//! This ablation fixes the *total* budget and compares four division
+//! policies, reporting both yield (dealiased hits) and diversity (prefixes
+//! with at least one hit).
+
+use super::{banner, ExperimentOptions};
+use crate::pipeline::{prepare_seeds, WorldRunConfig};
+use sixgen_addr::Prefix;
+use sixgen_core::{Config, SixGen};
+use sixgen_datasets::world::{build_world, WorldConfig};
+use sixgen_report::{group_digits, Series, TextTable};
+use sixgen_simnet::dealias::{detect_aliased, DealiasConfig};
+use sixgen_simnet::{ProbeConfig, Prober};
+use std::collections::HashSet;
+
+/// How the total probe budget is divided across routed prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Equal share per prefix (the paper's setup).
+    Uniform,
+    /// Proportional to the prefix's seed count.
+    ProportionalToSeeds,
+    /// Proportional to the square root of the seed count — a middle ground
+    /// that softens the skew toward dense networks.
+    SqrtSeeds,
+    /// Proportional to the announced prefix's size in log scale
+    /// (128 − prefix length).
+    LogPrefixSize,
+}
+
+impl BudgetPolicy {
+    /// All policies, in presentation order.
+    pub const ALL: [BudgetPolicy; 4] = [
+        BudgetPolicy::Uniform,
+        BudgetPolicy::ProportionalToSeeds,
+        BudgetPolicy::SqrtSeeds,
+        BudgetPolicy::LogPrefixSize,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetPolicy::Uniform => "uniform",
+            BudgetPolicy::ProportionalToSeeds => "∝ seeds",
+            BudgetPolicy::SqrtSeeds => "∝ sqrt(seeds)",
+            BudgetPolicy::LogPrefixSize => "∝ log(prefix size)",
+        }
+    }
+
+    /// Divides `total` across prefixes by this policy. Every prefix gets
+    /// at least its seed count (the seeds themselves are always probed).
+    pub fn divide(self, total: u64, prefixes: &[(Prefix, usize)]) -> Vec<u64> {
+        let weight = |&(prefix, seeds): &(Prefix, usize)| -> f64 {
+            match self {
+                BudgetPolicy::Uniform => 1.0,
+                BudgetPolicy::ProportionalToSeeds => seeds as f64,
+                BudgetPolicy::SqrtSeeds => (seeds as f64).sqrt(),
+                BudgetPolicy::LogPrefixSize => (128 - prefix.len()) as f64,
+            }
+        };
+        let total_weight: f64 = prefixes.iter().map(weight).sum();
+        prefixes
+            .iter()
+            .map(|entry| {
+                let share = (total as f64 * weight(entry) / total_weight).round() as u64;
+                share.max(entry.1 as u64)
+            })
+            .collect()
+    }
+}
+
+/// Runs the ablation.
+pub fn run(opts: &ExperimentOptions) {
+    banner("§8 extension: budget allocation policies (fixed total budget)");
+    let world_cfg = WorldRunConfig {
+        world: WorldConfig {
+            scale: opts.scale,
+            ..WorldConfig::default()
+        },
+        budget_per_prefix: opts.budget,
+        threads: opts.threads,
+        ..WorldRunConfig::default()
+    };
+    let internet = build_world(&world_cfg.world);
+    let seeds_by_prefix = prepare_seeds(&internet, &world_cfg);
+    let mut prefixes: Vec<(Prefix, usize)> = seeds_by_prefix
+        .iter()
+        .map(|(&p, v)| (p, v.len()))
+        .collect();
+    prefixes.sort();
+    let total_budget = opts.budget * prefixes.len() as u64;
+    println!(
+        "total budget {} over {} prefixes\n",
+        group_digits(total_budget),
+        prefixes.len()
+    );
+
+    let mut table = TextTable::new(vec![
+        "Policy",
+        "Dealiased hits",
+        "Prefixes w/ hits",
+        "Targets generated",
+    ]);
+    let mut series = Series::new(
+        "budget_policy",
+        vec!["policy", "dealiased_hits", "prefixes_with_hits"],
+    );
+    for (policy_index, policy) in BudgetPolicy::ALL.iter().enumerate() {
+        let shares = policy.divide(total_budget, &prefixes);
+        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut all_hits = Vec::new();
+        let mut hits_per_prefix: Vec<(Prefix, Vec<_>)> = Vec::new();
+        let mut generated = 0u64;
+        for (&(prefix, _), &share) in prefixes.iter().zip(shares.iter()) {
+            let outcome = SixGen::new(
+                seeds_by_prefix[&prefix].iter().copied(),
+                Config {
+                    budget: share,
+                    threads: opts.threads,
+                    ..Config::default()
+                },
+            )
+            .run();
+            generated += outcome.targets.len() as u64;
+            let scan = prober.scan(outcome.targets.iter(), 80);
+            all_hits.extend(scan.hits.iter().copied());
+            hits_per_prefix.push((prefix, scan.hits));
+        }
+        let report = detect_aliased(&mut prober, &all_hits, 80, &DealiasConfig::default());
+        let clean: HashSet<_> = report.split(all_hits.iter()).0.into_iter().collect();
+        let diversity = hits_per_prefix
+            .iter()
+            .filter(|(_, hits)| hits.iter().any(|h| clean.contains(h)))
+            .count();
+        table.row(vec![
+            policy.label().to_owned(),
+            group_digits(clean.len() as u64),
+            format!("{diversity}/{}", prefixes.len()),
+            group_digits(generated),
+        ]);
+        series.push(vec![policy_index as f64, clean.len() as f64, diversity as f64]);
+    }
+    println!("{table}");
+    let path = series
+        .write_tsv_file(opts.results_dir())
+        .expect("write budget-policy tsv");
+    println!("series -> {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn uniform_divides_equally() {
+        let prefixes = vec![(p("2001:db8::/32"), 10), (p("2600::/32"), 1000)];
+        let shares = BudgetPolicy::Uniform.divide(10_000, &prefixes);
+        assert_eq!(shares, vec![5_000, 5_000]);
+    }
+
+    #[test]
+    fn proportional_skews_to_seed_rich() {
+        let prefixes = vec![(p("2001:db8::/32"), 100), (p("2600::/32"), 900)];
+        let shares = BudgetPolicy::ProportionalToSeeds.divide(10_000, &prefixes);
+        assert_eq!(shares, vec![1_000, 9_000]);
+    }
+
+    #[test]
+    fn sqrt_softens_the_skew() {
+        let prefixes = vec![(p("2001:db8::/32"), 100), (p("2600::/32"), 900)];
+        let shares = BudgetPolicy::SqrtSeeds.divide(10_000, &prefixes);
+        // sqrt ratio 10:30 → 2500 / 7500, between uniform and proportional.
+        assert_eq!(shares, vec![2_500, 7_500]);
+    }
+
+    #[test]
+    fn log_prefix_size_favors_short_prefixes() {
+        let prefixes = vec![(p("2000::/20"), 10), (p("2600::/48"), 10)];
+        let shares = BudgetPolicy::LogPrefixSize.divide(1_880, &prefixes);
+        // Weights 108 vs 80.
+        assert_eq!(shares, vec![1_080, 800]);
+    }
+
+    #[test]
+    fn every_prefix_keeps_at_least_its_seeds() {
+        let prefixes = vec![(p("2001:db8::/32"), 500), (p("2600::/32"), 2)];
+        let shares = BudgetPolicy::ProportionalToSeeds.divide(600, &prefixes);
+        assert!(shares[1] >= 2, "starved prefix: {shares:?}");
+        assert!(shares[0] >= 500);
+    }
+}

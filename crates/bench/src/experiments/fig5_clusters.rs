@@ -1,0 +1,63 @@
+//! **Figure 5 (a/b)** — CDFs of the number of singleton and grown clusters
+//! 6Gen outputs, for routed prefixes bucketed by seed count.
+//!
+//! Shape targets: only a small share of prefixes with ≥ 10 seeds end with
+//! zero grown clusters; cluster counts are small relative to seed counts
+//! (6Gen merges most seeds into few clusters).
+
+use super::{banner, ExperimentOptions};
+use crate::pipeline::WorldRun;
+use sixgen_report::{bucket_label, log_bucket, percent, Cdf, Series};
+use std::collections::BTreeMap;
+
+/// Runs the experiment against an existing pipeline run.
+pub fn run(opts: &ExperimentOptions, run: &WorldRun) {
+    banner("Figure 5: singleton / grown cluster counts per routed prefix");
+    let mut singleton_by_bucket: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut grown_by_bucket: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for result in &run.results {
+        let Some(bucket) = log_bucket(result.seed_count as u64) else {
+            continue;
+        };
+        let singles = result
+            .clusters
+            .iter()
+            .filter(|c| c.is_singleton())
+            .count() as u64;
+        let grown = result.clusters.len() as u64 - singles;
+        singleton_by_bucket.entry(bucket).or_default().push(singles);
+        grown_by_bucket.entry(bucket).or_default().push(grown);
+    }
+
+    for (what, buckets, name) in [
+        ("singleton", &singleton_by_bucket, "fig5a_singletons"),
+        ("grown", &grown_by_bucket, "fig5b_grown"),
+    ] {
+        println!("\n({what} clusters)");
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>16}",
+            "seeds/prefix", "prefixes", "median", "p90", "max", "zero-grown share"
+        );
+        let mut series = Series::new(name, vec!["bucket", "clusters", "cdf"]);
+        for (&bucket, counts) in buckets {
+            let cdf = Cdf::from_counts(counts.iter().copied());
+            let zero = counts.iter().filter(|&&c| c == 0).count();
+            println!(
+                "{:<12} {:>8} {:>10} {:>10} {:>10} {:>16}",
+                bucket_label(bucket),
+                counts.len(),
+                cdf.quantile(0.5),
+                cdf.quantile(0.9),
+                cdf.quantile(1.0),
+                percent(zero as u64, counts.len() as u64),
+            );
+            for (value, frac) in cdf.steps() {
+                series.push(vec![bucket as f64, value, frac]);
+            }
+        }
+        let path = series
+            .write_tsv_file(opts.results_dir())
+            .expect("write fig5 tsv");
+        println!("series -> {}", path.display());
+    }
+}

@@ -1,0 +1,52 @@
+//! **Figure 6** — for each nybble index, the portion of routed prefixes
+//! that have any cluster range with that nybble dynamic.
+//!
+//! Shape target: two modes — one across nybbles 9–16 (the subnet half of
+//! the RFC 2460 64-bit network identifier) and one past nybble 29 (the
+//! RFC 7707 low-order-bits practice).
+
+use super::{banner, ExperimentOptions};
+use crate::pipeline::WorldRun;
+use sixgen_addr::NYBBLE_COUNT;
+use sixgen_report::Series;
+
+/// Runs the experiment against an existing pipeline run.
+pub fn run(opts: &ExperimentOptions, run: &WorldRun) {
+    banner("Figure 6: portion of routed prefixes with each nybble dynamic");
+    let mut dynamic_prefixes = [0u64; NYBBLE_COUNT];
+    let mut total_prefixes = 0u64;
+    for result in &run.results {
+        if result.clusters.is_empty() {
+            continue;
+        }
+        total_prefixes += 1;
+        let mut profile = [false; NYBBLE_COUNT];
+        for cluster in &result.clusters {
+            for (i, slot) in profile.iter_mut().enumerate() {
+                if !cluster.range.set(i).is_single() {
+                    *slot = true;
+                }
+            }
+        }
+        for (i, &dynamic) in profile.iter().enumerate() {
+            if dynamic {
+                dynamic_prefixes[i] += 1;
+            }
+        }
+    }
+
+    let mut series = Series::new("fig6_nybbles", vec!["nybble_index", "portion"]);
+    println!("{:>12}  {:>8}  bar", "nybble", "portion");
+    for (i, &count) in dynamic_prefixes.iter().enumerate() {
+        let portion = count as f64 / total_prefixes.max(1) as f64;
+        // The paper's x-axis is 1-based.
+        let index = i + 1;
+        let bar = "#".repeat((portion * 40.0).round() as usize);
+        println!("{index:>12}  {portion:>8.3}  {bar}");
+        series.push(vec![index as f64, portion]);
+    }
+    let path = series
+        .write_tsv_file(opts.results_dir())
+        .expect("write fig6 tsv");
+    println!("series -> {}", path.display());
+}

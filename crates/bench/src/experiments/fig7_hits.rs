@@ -1,0 +1,86 @@
+//! **Figure 7** — the distribution of TCP/80 hits per routed prefix,
+//! bucketed by the number of seeds in the prefix, plus the §6.6 churn
+//! check (hits minus inactive seeds).
+//!
+//! Shape targets: hits correlate positively with seed counts; a majority
+//! of prefixes with > 10 seeds have hits; for a meaningful share of
+//! prefixes, hits exceed the count of now-inactive seeds, so 6Gen is not
+//! merely rediscovering churned hosts.
+
+use super::{banner, ExperimentOptions};
+use crate::pipeline::WorldRun;
+use sixgen_addr::Prefix;
+use sixgen_report::{bucket_label, log_bucket, percent, quantiles, Series};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Runs the experiment against an existing pipeline run. Hits are counted
+/// post-dealiasing (the paper's Figure 7 uses dealiased hits; aliased /96
+/// regions count as zero).
+pub fn run(opts: &ExperimentOptions, run: &WorldRun) {
+    banner("Figure 7: dealiased hits per routed prefix, by seed count");
+    // Dealiased hits per prefix.
+    let clean: HashSet<_> = run.non_aliased_hits.iter().copied().collect();
+    let mut hits_by_prefix: HashMap<Prefix, u64> = HashMap::new();
+    for result in &run.results {
+        let clean_hits = result.hits.iter().filter(|h| clean.contains(h)).count() as u64;
+        hits_by_prefix.insert(result.prefix, clean_hits);
+    }
+
+    let mut by_bucket: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut churn_positive = 0u64;
+    let mut churn_total = 0u64;
+    for result in &run.results {
+        let Some(bucket) = log_bucket(result.seed_count as u64) else {
+            continue;
+        };
+        let hits = hits_by_prefix[&result.prefix];
+        by_bucket.entry(bucket).or_default().push(hits);
+        churn_total += 1;
+        if hits > result.inactive_seeds as u64 {
+            churn_positive += 1;
+        }
+    }
+
+    let mut series = Series::new(
+        "fig7_hits",
+        vec!["bucket", "p10", "p25", "median", "p75", "p90", "prefixes"],
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "seeds/prefix", "prefixes", "p10", "p25", "median", "p75", "p90", "with hits"
+    );
+    for (&bucket, hits) in &by_bucket {
+        let q = quantiles(hits, &[0.10, 0.25, 0.50, 0.75, 0.90]);
+        let nonzero = hits.iter().filter(|&&h| h > 0).count();
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            bucket_label(bucket),
+            hits.len(),
+            q[0],
+            q[1],
+            q[2],
+            q[3],
+            q[4],
+            percent(nonzero as u64, hits.len() as u64),
+        );
+        series.push(vec![
+            bucket as f64,
+            q[0] as f64,
+            q[1] as f64,
+            q[2] as f64,
+            q[3] as f64,
+            q[4] as f64,
+            hits.len() as f64,
+        ]);
+    }
+    println!(
+        "\nchurn check (§6.6): hits exceed inactive seeds for {} of {} prefixes ({})",
+        churn_positive,
+        churn_total,
+        percent(churn_positive, churn_total)
+    );
+    let path = series
+        .write_tsv_file(opts.results_dir())
+        .expect("write fig7 tsv");
+    println!("series -> {}", path.display());
+}

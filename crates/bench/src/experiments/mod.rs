@@ -1,0 +1,74 @@
+//! One module per paper table/figure. Every experiment prints the
+//! paper-style rows to stdout and writes TSV series into a results
+//! directory.
+
+pub mod adaptive_loop;
+pub mod budget_policy;
+pub mod cdn_compare;
+pub mod dealias_survey;
+pub mod eip_ranked;
+pub mod fig2_runtime;
+pub mod fig4_budget;
+pub mod fig5_clusters;
+pub mod fig6_nybbles;
+pub mod fig7_hits;
+pub mod host_type;
+pub mod table1_ases;
+pub mod table2_downsampling;
+pub mod tight_vs_loose;
+
+use std::path::{Path, PathBuf};
+
+/// Shared experiment options (from the `repro` command line).
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// World scale multiplier (1.0 = default world, ≈40 K hosts).
+    pub scale: f64,
+    /// Per-prefix probe budget for the world experiments.
+    pub budget: u64,
+    /// Output directory for TSV series.
+    pub results_dir: PathBuf,
+    /// Quick mode: fewer sweep points / folds, for smoke runs.
+    pub quick: bool,
+    /// Worker threads for 6Gen.
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: 1.0,
+            budget: 50_000,
+            results_dir: PathBuf::from("results"),
+            quick: false,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// The results directory as a path.
+    pub fn results_dir(&self) -> &Path {
+        &self.results_dir
+    }
+}
+
+/// Prints a section header.
+pub(crate) fn banner(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Prints the closing summary.
+pub fn banner_done(opts: &ExperimentOptions) {
+    println!();
+    println!(
+        "done. TSV series in {} (scale {}, budget {}/prefix{})",
+        opts.results_dir.display(),
+        opts.scale,
+        opts.budget,
+        if opts.quick { ", quick mode" } else { "" }
+    );
+}

@@ -1,0 +1,104 @@
+//! **Table 1 (a/b/c) and Figure 3** — the AS-level distribution of seed
+//! addresses, aliased hits, and non-aliased hits.
+//!
+//! Shape targets from the paper: seeds are not heavily skewed toward any
+//! AS (top AS < 10 %); aliased hits concentrate massively in a few CDN
+//! ASes (Akamai + Amazon together ≈ 88 %); dealiased hits concentrate in
+//! hosting providers and are slightly more skewed than the seeds.
+
+use super::{banner, ExperimentOptions};
+use crate::pipeline::{run_world, WorldRun, WorldRunConfig};
+use sixgen_datasets::world::WorldConfig;
+use sixgen_report::{percent, Series, TextTable};
+use std::collections::HashMap;
+
+fn top_table(run: &WorldRun, counts: &HashMap<u32, u64>, what: &str) -> TextTable {
+    let total: u64 = counts.values().sum();
+    let mut rows: Vec<(u32, u64)> = counts.iter().map(|(&a, &c)| (a, c)).collect();
+    rows.sort_by_key(|&(asn, c)| (std::cmp::Reverse(c), asn));
+    let mut table = TextTable::new(vec!["AS Name", "ASN", what]);
+    for (asn, count) in rows.into_iter().take(10) {
+        table.row(vec![
+            run.internet.registry().name(asn),
+            asn.to_string(),
+            percent(count, total),
+        ]);
+    }
+    table
+}
+
+/// Emits the Figure 3 CDF: ASNs ordered by descending address count, with
+/// the cumulative fraction of addresses.
+fn cdf_series(counts: &HashMap<u32, u64>, name: &str) -> Series {
+    let mut values: Vec<u64> = counts.values().copied().collect();
+    values.sort_unstable_by_key(|&v| std::cmp::Reverse(v));
+    let total: u64 = values.iter().sum();
+    let mut series = Series::new(name, vec!["asn_rank", "cdf_of_addresses"]);
+    let mut acc = 0u64;
+    for (rank, v) in values.iter().enumerate() {
+        acc += v;
+        series.push(vec![(rank + 1) as f64, acc as f64 / total.max(1) as f64]);
+    }
+    series
+}
+
+/// Runs the experiment. Returns the pipeline run so `repro all` can reuse
+/// it for Figures 5–7.
+pub fn run(opts: &ExperimentOptions) -> WorldRun {
+    banner("Table 1 / Figure 3: seeds, aliased hits, and dealiased hits by AS");
+    let cfg = WorldRunConfig {
+        world: WorldConfig {
+            scale: opts.scale,
+            ..WorldConfig::default()
+        },
+        budget_per_prefix: opts.budget,
+        threads: opts.threads,
+        ..WorldRunConfig::default()
+    };
+    let run = run_world(&cfg);
+    print_tables(opts, &run);
+    run
+}
+
+/// Prints tables/series for an existing run (shared with `repro all`).
+pub fn print_tables(opts: &ExperimentOptions, run: &WorldRun) {
+    let seeds: Vec<_> = run
+        .seeds_by_prefix
+        .values()
+        .flat_map(|v| v.iter().copied())
+        .collect();
+    let seed_counts = run.count_by_asn(seeds.iter());
+    let aliased_counts = run.count_by_asn(run.aliased_hits.iter());
+    let clean_counts = run.count_by_asn(run.non_aliased_hits.iter());
+
+    println!(
+        "\nseeds: {}   raw hits: {}   aliased: {} ({})   non-aliased: {}",
+        seeds.len(),
+        run.total_hits(),
+        run.aliased_hits.len(),
+        percent(run.aliased_hits.len() as u64, run.total_hits() as u64),
+        run.non_aliased_hits.len(),
+    );
+    println!(
+        "/112-refined (excluded) ASes: {:?}\n",
+        run.refined_asns
+    );
+
+    println!("(a) Seed Addresses");
+    println!("{}", top_table(run, &seed_counts, "% Seeds"));
+    println!("(b) Aliased Hits");
+    println!("{}", top_table(run, &aliased_counts, "% Hits"));
+    println!("(c) Non-Aliased Hits");
+    println!("{}", top_table(run, &clean_counts, "% Hits"));
+
+    for (counts, name) in [
+        (&seed_counts, "fig3_seeds_cdf"),
+        (&aliased_counts, "fig3_aliased_cdf"),
+        (&clean_counts, "fig3_nonaliased_cdf"),
+    ] {
+        let path = cdf_series(counts, name)
+            .write_tsv_file(opts.results_dir())
+            .expect("write fig3 tsv");
+        println!("series -> {}", path.display());
+    }
+}

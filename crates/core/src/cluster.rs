@@ -1,0 +1,253 @@
+//! Clusters and growth evaluation (Algorithm 1's `FindCandidateSeeds` and
+//! the per-cluster half of `GrowCluster`).
+
+use crate::ClusterMode;
+use sixgen_addr::{compare_density, NybbleAddr, NybbleTree, Range};
+use std::collections::HashSet;
+
+/// A 6Gen cluster: a range of address space and the number of seeds inside
+/// it.
+///
+/// Per §5.5's space optimization, the seed *set* itself is not stored — it
+/// can always be reconstructed from the range via the seed tree — only the
+/// range and the seed-set size.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The region of address space encompassing the cluster's seeds.
+    pub range: Range,
+    /// Number of seeds inside `range` (the cluster's seed-set size).
+    pub seed_count: u64,
+}
+
+impl Cluster {
+    /// The initial cluster for a single seed: range equal to the seed
+    /// address (`InitClusters` in Algorithm 1).
+    pub fn singleton(seed: NybbleAddr) -> Cluster {
+        Cluster {
+            range: Range::from_address(seed),
+            seed_count: 1,
+        }
+    }
+
+    /// The cluster's seed density: seed-set size divided by range size.
+    /// Exposed as an `f64` for reporting; the algorithm itself compares
+    /// densities exactly via [`compare_density`].
+    pub fn density(&self) -> f64 {
+        self.seed_count as f64 / self.range.size() as f64
+    }
+
+    /// `true` if the cluster never grew beyond its initial single seed.
+    pub fn is_singleton(&self) -> bool {
+        self.range.size() == 1
+    }
+}
+
+/// A candidate growth of one cluster: the expanded range it would adopt and
+/// the seed count / size that determine its density.
+#[derive(Debug, Clone)]
+pub struct Growth {
+    /// The expanded range.
+    pub range: Range,
+    /// Seeds inside the expanded range — the grown cluster's full seed set
+    /// (the expansion may encapsulate seeds beyond the candidate, §5.4).
+    pub seed_count: u64,
+    /// Cached `range.size()`.
+    pub range_size: u128,
+}
+
+impl Growth {
+    /// Orders two growths by 6Gen's greedy criterion: higher seed density
+    /// first, then smaller range size ("If there are multiple growth options
+    /// that result in the same maximum density, we prioritize smaller grown
+    /// clusters as they consume less budget", §5.4). Returns
+    /// `Ordering::Greater` if `self` is the better growth. Exact ties are
+    /// broken at random by the caller.
+    pub fn preference(&self, other: &Growth) -> core::cmp::Ordering {
+        compare_density(
+            self.seed_count,
+            self.range_size,
+            other.seed_count,
+            other.range_size,
+        )
+        .then_with(|| other.range_size.cmp(&self.range_size))
+    }
+}
+
+/// Evaluates the best growth for one cluster (`FindCandidateSeeds` plus the
+/// inner loop of `GrowCluster`):
+///
+/// 1. find all non-member seeds at minimum Hamming distance from the
+///    cluster's range (the *candidate seeds*);
+/// 2. for each candidate, expand the range to cover it (loose or tight per
+///    `mode`) and count the full seed set of the expanded range with the
+///    seed tree;
+/// 3. keep the growth with maximum density, breaking ties toward smaller
+///    ranges and then uniformly at random (via `tie_break`, a pseudo-random
+///    stream supplied by the engine so parallel evaluation stays
+///    deterministic).
+///
+/// Returns `None` when the cluster already contains every seed (no
+/// candidate exists) — the algorithm's second termination condition.
+pub fn best_growth(
+    cluster: &Cluster,
+    tree: &NybbleTree,
+    mode: ClusterMode,
+    mut tie_break: impl FnMut() -> u64,
+) -> Option<Growth> {
+    let (_dist, candidates) = tree.nearest_outside(&cluster.range)?;
+    let mut best: Option<Growth> = None;
+    let mut ties: u64 = 0;
+    // Distinct candidates often induce the same expanded range (e.g. two
+    // seeds differing from the range in the same positions under loose
+    // mode); evaluate each range once.
+    let mut seen: HashSet<Range> = HashSet::new();
+    for seed in candidates {
+        let range = match mode {
+            ClusterMode::Loose => cluster.range.expand_loose(seed),
+            ClusterMode::Tight => cluster.range.expand_tight(seed),
+        };
+        if !seen.insert(range.clone()) {
+            continue;
+        }
+        let growth = Growth {
+            seed_count: tree.count_in_range(&range),
+            range_size: range.size(),
+            range,
+        };
+        match &best {
+            None => {
+                best = Some(growth);
+                ties = 1;
+            }
+            Some(current) => match growth.preference(current) {
+                core::cmp::Ordering::Greater => {
+                    best = Some(growth);
+                    ties = 1;
+                }
+                core::cmp::Ordering::Equal => {
+                    // Reservoir sampling over equally-good growths: replace
+                    // the incumbent with probability 1/(ties+1).
+                    ties += 1;
+                    if tie_break().is_multiple_of(ties) {
+                        best = Some(growth);
+                    }
+                }
+                core::cmp::Ordering::Less => {}
+            },
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    fn tree(seeds: &[&str]) -> NybbleTree {
+        NybbleTree::from_addresses(seeds.iter().map(|s| addr(s)))
+    }
+
+    #[test]
+    fn singleton_cluster() {
+        let c = Cluster::singleton(addr("2001:db8::1"));
+        assert_eq!(c.seed_count, 1);
+        assert_eq!(c.range.size(), 1);
+        assert!(c.is_singleton());
+        assert_eq!(c.density(), 1.0);
+    }
+
+    #[test]
+    fn growth_prefers_density_then_size() {
+        let dense_small = Growth {
+            range: Range::from_address(addr("::1")),
+            seed_count: 4,
+            range_size: 16,
+        };
+        let sparse = Growth {
+            range: Range::from_address(addr("::2")),
+            seed_count: 4,
+            range_size: 256,
+        };
+        let dense_large = Growth {
+            range: Range::from_address(addr("::3")),
+            seed_count: 64,
+            range_size: 256,
+        };
+        assert_eq!(
+            dense_small.preference(&sparse),
+            core::cmp::Ordering::Greater
+        );
+        // Equal density (4/16 == 64/256): smaller range wins.
+        assert_eq!(
+            dense_small.preference(&dense_large),
+            core::cmp::Ordering::Greater
+        );
+        assert_eq!(
+            dense_large.preference(&dense_small),
+            core::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn best_growth_picks_nearest_then_densest() {
+        // Cluster at ::10. Seeds ::11 and ::19 are both distance 1;
+        // expanding by either (loose) gives ::1? which contains 3 seeds.
+        // Seed ::99 is distance 2 and is not a candidate.
+        let t = tree(&["2001:db8::10", "2001:db8::11", "2001:db8::19", "2001:db8::99"]);
+        let c = Cluster::singleton(addr("2001:db8::10"));
+        let g = best_growth(&c, &t, ClusterMode::Loose, || 0).unwrap();
+        assert_eq!(g.range, "2001:db8::1?".parse().unwrap());
+        assert_eq!(g.seed_count, 3);
+        assert_eq!(g.range_size, 16);
+    }
+
+    #[test]
+    fn best_growth_counts_encapsulated_seeds() {
+        // Growing ::100 by ::109 (distance 1) must also absorb ::105, which
+        // falls inside the expanded range (§5.4).
+        let t = tree(&["2001:db8::100", "2001:db8::105", "2001:db8::109"]);
+        let c = Cluster::singleton(addr("2001:db8::100"));
+        let g = best_growth(&c, &t, ClusterMode::Loose, || 0).unwrap();
+        assert_eq!(g.seed_count, 3);
+    }
+
+    #[test]
+    fn best_growth_tight_mode() {
+        let t = tree(&["2001:db8::100", "2001:db8::105", "2001:db8::109"]);
+        let c = Cluster::singleton(addr("2001:db8::100"));
+        let g = best_growth(&c, &t, ClusterMode::Tight, || 0).unwrap();
+        // Tight expansion by one candidate: {0,5} or {0,9} in the last
+        // nybble, size 2, containing 2 seeds (density 1) — denser than any
+        // loose alternative.
+        assert_eq!(g.range_size, 2);
+        assert_eq!(g.seed_count, 2);
+    }
+
+    #[test]
+    fn best_growth_none_when_cluster_has_all_seeds() {
+        let t = tree(&["2001:db8::1", "2001:db8::2"]);
+        let c = Cluster {
+            range: "2001:db8::?".parse().unwrap(),
+            seed_count: 2,
+        };
+        assert!(best_growth(&c, &t, ClusterMode::Loose, || 0).is_none());
+    }
+
+    #[test]
+    fn best_growth_deterministic_under_tie_break_stream() {
+        // Two equidistant candidates with equal resulting density and size:
+        // the tie-break stream decides, deterministically.
+        let t = tree(&["2001:db8::50", "2001:db8::41", "2001:db8::61"]);
+        let c = Cluster::singleton(addr("2001:db8::50"));
+        let g0 = best_growth(&c, &t, ClusterMode::Tight, || 0).unwrap();
+        let g0_again = best_growth(&c, &t, ClusterMode::Tight, || 0).unwrap();
+        assert_eq!(g0.range, g0_again.range);
+        // Both candidate growths have 2 seeds in a size-4 tight range.
+        assert_eq!(g0.seed_count, 2);
+        assert_eq!(g0.range_size, 4);
+    }
+}

@@ -1,0 +1,658 @@
+//! The 6Gen engine: Algorithm 1's main loop with the §5.5 optimizations.
+
+use crate::budget::{BudgetTracker, Charge};
+use crate::cluster::{best_growth, Cluster, Growth};
+use crate::outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
+use crate::Config;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sixgen_addr::{NybbleAddr, NybbleTree};
+use std::time::{Duration, Instant};
+
+/// Cached best growth for one cluster.
+///
+/// §5.5: "only one cluster is changed per iteration and ... because clusters
+/// grow independently, all other clusters remain unchanged and their best
+/// growths can be cached between iterations."
+#[derive(Debug)]
+enum Cached {
+    /// Must be (re)computed: the cluster is new or just grew.
+    Stale,
+    /// The cluster contains every seed; it can never grow.
+    Exhausted,
+    /// A valid best growth.
+    Ready(Growth),
+}
+
+#[derive(Debug)]
+struct Slot {
+    cluster: Cluster,
+    cached: Cached,
+}
+
+/// A configured 6Gen run over a set of seeds.
+///
+/// Construct with [`SixGen::new`], execute with [`SixGen::run`]. Runs are
+/// deterministic for a fixed seed set and [`Config`], including under
+/// multi-threaded growth evaluation.
+#[derive(Debug)]
+pub struct SixGen {
+    seeds: Vec<NybbleAddr>,
+    tree: NybbleTree,
+    config: Config,
+}
+
+impl SixGen {
+    /// Prepares a run. Duplicate seeds are removed; seed order does not
+    /// affect the result.
+    pub fn new(seeds: impl IntoIterator<Item = NybbleAddr>, config: Config) -> SixGen {
+        let mut seeds: Vec<NybbleAddr> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let tree = NybbleTree::from_addresses(seeds.iter().copied());
+        SixGen {
+            seeds,
+            tree,
+            config,
+        }
+    }
+
+    /// The deduplicated seed list.
+    pub fn seeds(&self) -> &[NybbleAddr] {
+        &self.seeds
+    }
+
+    /// Executes the algorithm to termination and returns the outcome.
+    pub fn run(self) -> Outcome {
+        let started = Instant::now();
+        let mut cpu_time = Duration::ZERO;
+        let total_seeds = self.seeds.len() as u64;
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let mut budget = BudgetTracker::new(self.config.budget);
+        let mut stats_growths: u64 = 0;
+        let mut stats_subsumed: u64 = 0;
+
+        let finish = |slots: Vec<Slot>,
+                      budget: BudgetTracker,
+                      termination: Termination,
+                      growths: u64,
+                      subsumed: u64,
+                      cpu_time: Duration,
+                      started: Instant| {
+            let clusters = slots
+                .into_iter()
+                .map(|s| ClusterInfo {
+                    range_size: s.cluster.range.size(),
+                    seed_count: s.cluster.seed_count,
+                    range: s.cluster.range,
+                })
+                .collect();
+            let budget_total = budget.budget();
+            let budget_used = budget.used();
+            Outcome {
+                targets: TargetSet::from_ordered(budget.into_targets()),
+                clusters,
+                stats: RunStats {
+                    growths,
+                    subsumed,
+                    budget_used,
+                    budget: budget_total,
+                    seed_count: total_seeds,
+                    wall_time: started.elapsed(),
+                    cpu_time,
+                    termination,
+                },
+            }
+        };
+
+        if self.seeds.is_empty() {
+            return finish(
+                Vec::new(),
+                budget,
+                Termination::NoSeeds,
+                0,
+                0,
+                cpu_time,
+                started,
+            );
+        }
+
+        // InitClusters: one singleton cluster per seed; each seed address
+        // is itself a generated target and counts against the budget.
+        let mut slots: Vec<Slot> = Vec::with_capacity(self.seeds.len());
+        for &seed in &self.seeds {
+            if !budget.add_address(seed) && budget.is_exhausted() {
+                // Budget smaller than the seed count: emit what fit.
+                return finish(
+                    slots,
+                    budget,
+                    Termination::ExhaustedAtInit,
+                    0,
+                    0,
+                    cpu_time,
+                    started,
+                );
+            }
+            slots.push(Slot {
+                cluster: Cluster::singleton(seed),
+                cached: Cached::Stale,
+            });
+        }
+
+        loop {
+            cpu_time += self.fill_caches(&mut slots);
+
+            // Select the globally best cached growth: maximum density, then
+            // smallest range, then uniformly at random among exact ties
+            // (reservoir over scan order keeps this deterministic).
+            let mut best_index: Option<usize> = None;
+            let mut ties: u64 = 0;
+            for (i, slot) in slots.iter().enumerate() {
+                let Cached::Ready(growth) = &slot.cached else {
+                    continue;
+                };
+                match best_index {
+                    None => {
+                        best_index = Some(i);
+                        ties = 1;
+                    }
+                    Some(b) => {
+                        let Cached::Ready(best) = &slots[b].cached else {
+                            unreachable!("best_index always references a Ready slot");
+                        };
+                        match growth.preference(best) {
+                            core::cmp::Ordering::Greater => {
+                                best_index = Some(i);
+                                ties = 1;
+                            }
+                            core::cmp::Ordering::Equal => {
+                                ties += 1;
+                                if rng.gen_range(0..ties) == 0 {
+                                    best_index = Some(i);
+                                }
+                            }
+                            core::cmp::Ordering::Less => {}
+                        }
+                    }
+                }
+            }
+            let Some(grown_index) = best_index else {
+                // Every cluster contains all seeds: nothing can grow.
+                return finish(
+                    slots,
+                    budget,
+                    Termination::AllSeedsClustered,
+                    stats_growths,
+                    stats_subsumed,
+                    cpu_time,
+                    started,
+                );
+            };
+            let Cached::Ready(growth) = &slots[grown_index].cached else {
+                unreachable!("selected slot is Ready");
+            };
+
+            // Budget check first (Algorithm 1 computes the cost before the
+            // all-seeds test): an over-budget growth triggers the exact
+            // final-sampling path even if it would cluster all seeds.
+            if budget.cost_if_fits(&growth.range).is_none() {
+                let range = growth.range.clone();
+                let charge = budget.charge(&range, &mut rng);
+                debug_assert!(matches!(charge, Charge::Exhausted { .. }));
+                return finish(
+                    slots,
+                    budget,
+                    Termination::BudgetExhausted,
+                    stats_growths,
+                    stats_subsumed,
+                    cpu_time,
+                    started,
+                );
+            }
+            if growth.seed_count == total_seeds {
+                // The growth would merge all seeds into one cluster; per
+                // Algorithm 1 it is *not* committed.
+                return finish(
+                    slots,
+                    budget,
+                    Termination::AllSeedsClustered,
+                    stats_growths,
+                    stats_subsumed,
+                    cpu_time,
+                    started,
+                );
+            }
+
+            // Commit: charge the budget, adopt the grown range, invalidate
+            // this cluster's cache, and delete clusters subsumed by the new
+            // range (§5.4).
+            let growth = growth.clone();
+            let charge = budget.charge(&growth.range, &mut rng);
+            debug_assert!(matches!(charge, Charge::Committed { .. }));
+            stats_growths += 1;
+            let new_range = growth.range.clone();
+            slots[grown_index] = Slot {
+                cluster: Cluster {
+                    range: growth.range,
+                    seed_count: growth.seed_count,
+                },
+                cached: Cached::Stale,
+            };
+            let before = slots.len();
+            let mut index = 0;
+            slots.retain(|slot| {
+                let keep = index == grown_index || !slot.cluster.range.is_subset(&new_range);
+                index += 1;
+                keep
+            });
+            stats_subsumed += (before - slots.len()) as u64;
+        }
+    }
+
+    /// Recomputes every stale cache, in parallel when configured and
+    /// worthwhile. Returns the aggregate busy time across workers.
+    fn fill_caches(&self, slots: &mut [Slot]) -> Duration {
+        let stale: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.cached, Cached::Stale))
+            .map(|(i, _)| i)
+            .collect();
+        if stale.is_empty() {
+            return Duration::ZERO;
+        }
+        let threads = match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        if threads <= 1 || stale.len() < 64 {
+            let start = Instant::now();
+            for &i in &stale {
+                slots[i].cached = self.compute_growth(&slots[i].cluster);
+            }
+            return start.elapsed();
+        }
+
+        // Parallel: chunk the stale indices across scoped workers. Results
+        // are deterministic because each cluster's tie-break stream depends
+        // only on its range, not on scheduling.
+        let chunk_size = stale.len().div_ceil(threads);
+        let clusters: Vec<(usize, Cluster)> = stale
+            .iter()
+            .map(|&i| (i, slots[i].cluster.clone()))
+            .collect();
+        let mut results: Vec<(usize, Cached)> = Vec::with_capacity(stale.len());
+        let mut cpu = Duration::ZERO;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = clusters
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out: Vec<(usize, Cached)> = chunk
+                            .iter()
+                            .map(|(i, cluster)| (*i, self.compute_growth(cluster)))
+                            .collect();
+                        (out, start.elapsed())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (out, elapsed) = handle.join().expect("growth worker panicked");
+                results.extend(out);
+                cpu += elapsed;
+            }
+        })
+        .expect("crossbeam scope failed");
+        for (i, cached) in results {
+            slots[i].cached = cached;
+        }
+        cpu
+    }
+
+    /// Computes one cluster's best growth with a deterministic per-cluster
+    /// tie-break stream derived from the run seed and the cluster's range.
+    fn compute_growth(&self, cluster: &Cluster) -> Cached {
+        let mut state = splitmix64_seed(
+            self.config.rng_seed,
+            cluster.range.min_address().bits(),
+            cluster.range.size(),
+        );
+        let tie_break = move || {
+            state = splitmix64(state);
+            state
+        };
+        match best_growth(cluster, &self.tree, self.config.mode, tie_break) {
+            Some(growth) => Cached::Ready(growth),
+            None => Cached::Exhausted,
+        }
+    }
+}
+
+/// SplitMix64 step: a tiny, high-quality PRNG for tie-break streams.
+pub(crate) fn splitmix64(mut state: u64) -> u64 {
+    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes the run seed with a cluster's identity (range minimum and size)
+/// into an initial SplitMix64 state.
+pub(crate) fn splitmix64_seed(run_seed: u64, min_bits: u128, size: u128) -> u64 {
+    let mut state = run_seed;
+    for part in [
+        min_bits as u64,
+        (min_bits >> 64) as u64,
+        size as u64,
+        (size >> 64) as u64,
+    ] {
+        state = splitmix64(state ^ part);
+    }
+    state
+}
+
+/// Convenience function: run 6Gen over `seeds` with `config`.
+pub fn run(seeds: impl IntoIterator<Item = NybbleAddr>, config: Config) -> Outcome {
+    SixGen::new(seeds, config).run()
+}
+
+/// Convenience function: run 6Gen separately over pre-grouped seed sets
+/// (e.g. per routed prefix, as in all of the paper's experiments) with the
+/// same per-group config, returning one outcome per group.
+pub fn run_grouped<I>(groups: I, config: &Config) -> Vec<Outcome>
+where
+    I: IntoIterator,
+    I::Item: IntoIterator<Item = NybbleAddr>,
+{
+    groups
+        .into_iter()
+        .map(|seeds| SixGen::new(seeds, config.clone()).run())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterMode;
+    use sixgen_addr::Range;
+
+    fn addr(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    fn addrs(list: &[&str]) -> Vec<NybbleAddr> {
+        list.iter().map(|s| addr(s)).collect()
+    }
+
+    fn range(s: &str) -> Range {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_seeds() {
+        let outcome = SixGen::new([], Config::default()).run();
+        assert_eq!(outcome.stats.termination, Termination::NoSeeds);
+        assert!(outcome.targets.is_empty());
+        assert!(outcome.clusters.is_empty());
+    }
+
+    #[test]
+    fn single_seed_terminates_immediately() {
+        let outcome = SixGen::new([addr("2001:db8::1")], Config::default()).run();
+        assert_eq!(outcome.stats.termination, Termination::AllSeedsClustered);
+        assert_eq!(outcome.targets.len(), 1);
+        assert_eq!(outcome.clusters.len(), 1);
+        assert!(outcome.clusters[0].is_singleton());
+        assert_eq!(outcome.stats.growths, 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_deduplicated() {
+        let run = SixGen::new(addrs(&["2001:db8::1", "2001:db8::1"]), Config::default());
+        assert_eq!(run.seeds().len(), 1);
+    }
+
+    #[test]
+    fn two_close_seeds_stop_at_all_clustered() {
+        // Growing either singleton would cluster all seeds, so per
+        // Algorithm 1 the growth is not committed.
+        let outcome = SixGen::new(
+            addrs(&["2001:db8::1", "2001:db8::2"]),
+            Config::with_budget(1000),
+        )
+        .run();
+        assert_eq!(outcome.stats.termination, Termination::AllSeedsClustered);
+        assert_eq!(outcome.targets.len(), 2, "only the seeds themselves");
+        assert_eq!(outcome.stats.growths, 0);
+        assert_eq!(outcome.clusters.len(), 2);
+    }
+
+    #[test]
+    fn dense_region_is_explored() {
+        // Two groups; growing within a group is denser than bridging them.
+        let seeds = addrs(&[
+            "2001:db8::11",
+            "2001:db8::12",
+            "2001:db8::13",
+            "2001:db8:ffff::1",
+            "2001:db8:ffff::2",
+        ]);
+        let outcome = SixGen::new(seeds, Config::with_budget(100)).run();
+        // The ::1? cluster should exist and cover unseen addresses.
+        assert!(outcome.targets.contains(addr("2001:db8::1f")));
+        assert!(outcome.stats.growths >= 1);
+        assert!(outcome
+            .clusters
+            .iter()
+            .any(|c| c.range == range("2001:db8::1?")));
+        // Budget respected.
+        assert!(outcome.targets.len() as u64 <= 100);
+    }
+
+    #[test]
+    fn budget_exhausted_exactly() {
+        // Two far-apart dense groups: after both grow into /124-style
+        // ranges (10 seeds + 22 new = 32 used), the only remaining growth
+        // bridges the groups with a range far larger than the leftover
+        // budget of 8, forcing the exact final-sampling path.
+        let mut seeds = addrs(&[
+            "2001:db8::a001",
+            "2001:db8::a002",
+            "2001:db8::a003",
+            "2001:db8::a004",
+            "2001:db8::a005",
+        ]);
+        seeds.extend(addrs(&[
+            "2001:db8:b::1",
+            "2001:db8:b::2",
+            "2001:db8:b::3",
+            "2001:db8:b::4",
+            "2001:db8:b::5",
+        ]));
+        let budget = 40;
+        let outcome = SixGen::new(seeds, Config::with_budget(budget)).run();
+        assert_eq!(outcome.stats.termination, Termination::BudgetExhausted);
+        assert_eq!(outcome.targets.len() as u64, budget);
+        assert_eq!(outcome.stats.budget_used, budget);
+        assert_eq!(outcome.stats.growths, 2);
+    }
+
+    #[test]
+    fn budget_smaller_than_seed_count() {
+        let seeds: Vec<NybbleAddr> = (0..10u32)
+            .map(|i| NybbleAddr::from_bits(0x2001 << 112 | i as u128))
+            .collect();
+        let outcome = SixGen::new(seeds, Config::with_budget(4)).run();
+        assert_eq!(outcome.stats.termination, Termination::ExhaustedAtInit);
+        assert_eq!(outcome.targets.len(), 4);
+    }
+
+    #[test]
+    fn targets_are_unique_and_include_seeds_in_ranges() {
+        let seeds = addrs(&["2001:db8::10", "2001:db8::11", "2001:db8::12"]);
+        let outcome = SixGen::new(seeds.clone(), Config::with_budget(1000)).run();
+        let mut sorted: Vec<_> = outcome.targets.iter().collect();
+        sorted.sort();
+        let len_before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), len_before, "targets must be unique");
+        for s in &seeds {
+            assert!(outcome.targets.contains(*s), "seed {s} missing");
+        }
+    }
+
+    #[test]
+    fn subsumed_clusters_are_deleted() {
+        // Seeds on a line: growing one cluster to ::1? subsumes the other
+        // singletons inside it.
+        let seeds = addrs(&[
+            "2001:db8::10",
+            "2001:db8::11",
+            "2001:db8::12",
+            "2001:db8::13",
+            "2001:db8::14",
+            "2001:db8:9999::1", // far-away anchor keeps the run going
+            "2001:db8:9999::2",
+        ]);
+        let outcome = SixGen::new(seeds, Config::with_budget(500)).run();
+        assert!(outcome.stats.subsumed >= 3, "subsumed {}", outcome.stats.subsumed);
+        // No cluster strictly inside another's range should remain after
+        // growth (modulo later growth that did not re-check older pairs).
+        let grown: Vec<&ClusterInfo> =
+            outcome.clusters.iter().filter(|c| !c.is_singleton()).collect();
+        for g in &grown {
+            for c in &outcome.clusters {
+                if std::ptr::eq(*g, c) {
+                    continue;
+                }
+                assert!(
+                    !(c.range.is_subset(&g.range) && c.range != g.range),
+                    "cluster {} subsumed by {} but not deleted",
+                    c.range,
+                    g.range
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loose_and_tight_modes_differ() {
+        let seeds = addrs(&[
+            "2001:db8::1230",
+            "2001:db8::1234",
+            "2001:db8::1238",
+            "2001:db8::9999",
+            "2001:db8::999b",
+        ]);
+        let loose = SixGen::new(
+            seeds.clone(),
+            Config {
+                mode: ClusterMode::Loose,
+                budget: 64,
+                ..Config::default()
+            },
+        )
+        .run();
+        let tight = SixGen::new(
+            seeds,
+            Config {
+                mode: ClusterMode::Tight,
+                budget: 64,
+                ..Config::default()
+            },
+        )
+        .run();
+        // Loose ranges are full wildcards; tight ranges are bounded.
+        assert!(loose.clusters.iter().all(|c| c.range.is_loose()));
+        assert!(tight.clusters.iter().any(|c| !c.range.is_loose()));
+        // Tight mode consumes less budget per growth.
+        assert!(tight.stats.budget_used <= loose.stats.budget_used);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let seeds: Vec<NybbleAddr> = (0..40u32)
+            .map(|i| {
+                NybbleAddr::from_bits(
+                    0x2001_0db8 << 96 | ((i % 7) as u128) << 16 | ((i * 13 % 256) as u128),
+                )
+            })
+            .collect();
+        let config = Config::with_budget(300);
+        let a = SixGen::new(seeds.clone(), config.clone()).run();
+        let b = SixGen::new(seeds, config).run();
+        assert_eq!(a.targets.as_slice(), b.targets.as_slice());
+        assert_eq!(a.clusters.len(), b.clusters.len());
+        assert_eq!(a.stats.growths, b.stats.growths);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let seeds: Vec<NybbleAddr> = (0..200u32)
+            .map(|i| {
+                NybbleAddr::from_bits(
+                    0x2001_0db8 << 96 | ((i % 5) as u128) << 20 | ((i * 37 % 4096) as u128),
+                )
+            })
+            .collect();
+        let serial = SixGen::new(
+            seeds.clone(),
+            Config {
+                threads: 1,
+                budget: 2000,
+                ..Config::default()
+            },
+        )
+        .run();
+        let parallel = SixGen::new(
+            seeds,
+            Config {
+                threads: 4,
+                budget: 2000,
+                ..Config::default()
+            },
+        )
+        .run();
+        assert_eq!(serial.targets.as_slice(), parallel.targets.as_slice());
+        assert_eq!(serial.stats.growths, parallel.stats.growths);
+    }
+
+    #[test]
+    fn run_grouped_processes_groups_independently() {
+        let g1 = addrs(&["2001:db8::1", "2001:db8::2", "2001:db8::3"]);
+        let g2 = addrs(&["fe80::a", "fe80::b"]);
+        let outcomes = run_grouped([g1, g2], &Config::with_budget(100));
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].targets.len() >= 3);
+        assert_eq!(outcomes[1].targets.len(), 2);
+    }
+
+    #[test]
+    fn growth_prefers_denser_region() {
+        // Region A: 4 seeds in one /124-equivalent nybble (density 4/16
+        // when grown). Region B: 2 seeds 2 nybbles apart (density 2/256).
+        // The first committed growth must be region A's.
+        let seeds = addrs(&[
+            "2001:db8::a1",
+            "2001:db8::a2",
+            "2001:db8::a3",
+            "2001:db8::a4",
+            "2001:db8:b::1",
+            "2001:db8:b::301",
+        ]);
+        let outcome = SixGen::new(seeds, Config::with_budget(20)).run();
+        // Budget 20: 6 seeds at init, region A growth adds 16-4=12 new
+        // (total 18); region B's growth (14 new) cannot fit, so sampling
+        // consumes the last 2.
+        assert_eq!(outcome.stats.termination, Termination::BudgetExhausted);
+        assert!(outcome
+            .clusters
+            .iter()
+            .any(|c| c.range == range("2001:db8::a?")));
+        assert_eq!(outcome.targets.len(), 20);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sixgen-datasets — workloads for the reproduction
+//!
+//! The paper's experiments consume two proprietary corpora that cannot be
+//! redistributed: the Rapid7 Forward DNS ANY snapshot (2.96 M addresses in
+//! 10,038 routed prefixes, §6.1) and the Entropy/IP authors' five 10 K CDN
+//! datasets (§7). This crate generates synthetic equivalents with the same
+//! *distributional* properties — per-prefix seed counts, AS-level skew,
+//! address-structure classes, churn, and aliasing — on top of
+//! [`sixgen_simnet`]:
+//!
+//! * [`world`] — a multi-AS Internet model whose seed/alias/hit skew
+//!   mirrors Tables 1a–1c (Linode/Amazon/… seed shares; Akamai/Amazon
+//!   alias dominance; hosting-provider dealiased hits).
+//! * [`cdn`] — five CDN-style networks spanning the difficulty spectrum of
+//!   the original Entropy/IP evaluation (CDN 1 unpredictable … CDN 4/5
+//!   highly structured, CDN 4 heavily aliased).
+//! * [`split`] — the §7.1 train-and-test machinery (10 random groups of
+//!   1 K, train on one, test on the rest) and §6.7.2 downsampling.
+//! * [`io`] — hitlist files: one-address-per-line text (the format of
+//!   public IPv6 hitlists) and a compact binary format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdn;
+pub mod io;
+pub mod split;
+pub mod world;
+
+pub use cdn::{cdn_internet, cdn_seed_sample, Cdn};
+pub use split::{downsample, inverse_kfold, split_groups};
+pub use world::{build_world, world_specs, WorldConfig};

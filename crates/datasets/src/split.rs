@@ -1,0 +1,140 @@
+//! Train/test splitting (§7.1) and seed downsampling (§6.7.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use sixgen_addr::NybbleAddr;
+
+/// Splits addresses into `k` random groups of (nearly) equal size — the
+/// §7.1 procedure: "we split the addresses into 10 groups at random (each
+/// with 1 K addresses)". Sizes differ by at most one when `k` does not
+/// divide the input.
+///
+/// # Panics
+/// Panics if `k` is zero.
+pub fn split_groups(addrs: &[NybbleAddr], k: usize, rng: &mut StdRng) -> Vec<Vec<NybbleAddr>> {
+    assert!(k > 0, "cannot split into zero groups");
+    let mut shuffled = addrs.to_vec();
+    shuffled.shuffle(rng);
+    let mut groups: Vec<Vec<NybbleAddr>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, addr) in shuffled.into_iter().enumerate() {
+        groups[i % k].push(addr);
+    }
+    groups
+}
+
+/// Inverse k-fold iteration (§7.1: "ran both 6Gen and Entropy/IP on each
+/// 10 % sample and validated against the remaining 90 %"): for every
+/// group, yields `(train, test)` where `train` is that single group and
+/// `test` is the concatenation of all others.
+pub fn inverse_kfold(groups: &[Vec<NybbleAddr>]) -> Vec<(Vec<NybbleAddr>, Vec<NybbleAddr>)> {
+    (0..groups.len())
+        .map(|i| {
+            let train = groups[i].clone();
+            let test: Vec<NybbleAddr> = groups
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, g)| g.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Uniform random downsampling without replacement (§6.7.2 runs 6Gen on
+/// 1 %, 10 %, and 25 % of the full seed dataset). A fraction ≥ 1.0
+/// returns a shuffled copy of the input.
+pub fn downsample(addrs: &[NybbleAddr], fraction: f64, rng: &mut StdRng) -> Vec<NybbleAddr> {
+    assert!(fraction >= 0.0, "negative fraction");
+    let want = ((addrs.len() as f64 * fraction).round() as usize).min(addrs.len());
+    let mut shuffled = addrs.to_vec();
+    shuffled.shuffle(rng);
+    shuffled.truncate(want);
+    shuffled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn addrs(n: u32) -> Vec<NybbleAddr> {
+        (0..n).map(|i| NybbleAddr::from_bits(i as u128)).collect()
+    }
+
+    #[test]
+    fn split_partitions_evenly() {
+        let input = addrs(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups = split_groups(&input, 10, &mut rng);
+        assert_eq!(groups.len(), 10);
+        assert!(groups.iter().all(|g| g.len() == 10));
+        let all: HashSet<_> = groups.iter().flatten().collect();
+        assert_eq!(all.len(), 100, "no address lost or duplicated");
+    }
+
+    #[test]
+    fn split_uneven_sizes_differ_by_one() {
+        let input = addrs(103);
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups = split_groups(&input, 10, &mut rng);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn split_is_random_but_deterministic() {
+        let input = addrs(50);
+        let g1 = split_groups(&input, 5, &mut StdRng::seed_from_u64(7));
+        let g2 = split_groups(&input, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+        let g3 = split_groups(&input, 5, &mut StdRng::seed_from_u64(8));
+        assert_ne!(g1, g3, "different seed, different split");
+    }
+
+    #[test]
+    fn inverse_kfold_shapes() {
+        let input = addrs(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups = split_groups(&input, 10, &mut rng);
+        let folds = inverse_kfold(&groups);
+        assert_eq!(folds.len(), 10);
+        for (i, (train, test)) in folds.iter().enumerate() {
+            assert_eq!(train.len(), 10, "fold {i}");
+            assert_eq!(test.len(), 90, "fold {i}");
+            let train_set: HashSet<_> = train.iter().collect();
+            assert!(test.iter().all(|t| !train_set.contains(t)), "disjoint");
+        }
+    }
+
+    #[test]
+    fn downsample_fractions() {
+        let input = addrs(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(downsample(&input, 0.01, &mut rng).len(), 10);
+        assert_eq!(downsample(&input, 0.10, &mut rng).len(), 100);
+        assert_eq!(downsample(&input, 0.25, &mut rng).len(), 250);
+        assert_eq!(downsample(&input, 1.0, &mut rng).len(), 1000);
+        assert_eq!(downsample(&input, 2.0, &mut rng).len(), 1000);
+        assert!(downsample(&input, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn downsample_without_replacement() {
+        let input = addrs(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = downsample(&input, 0.5, &mut rng);
+        let uniq: HashSet<_> = sample.iter().collect();
+        assert_eq!(uniq.len(), sample.len());
+        let input_set: HashSet<_> = input.iter().collect();
+        assert!(sample.iter().all(|s| input_set.contains(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero groups")]
+    fn zero_groups_rejected() {
+        split_groups(&addrs(10), 0, &mut StdRng::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,484 @@
+//! The default simulated Internet: a stand-in for the Rapid7 FDNS corpus'
+//! network population (§6.1, Tables 1a–1c).
+//!
+//! Design targets, from the paper:
+//!
+//! * seed share skew like Table 1a (Linode 8.6 %, Amazon 8.1 %, HostEurope
+//!   6.6 %, … — no AS dominating);
+//! * large-scale aliasing concentrated in a few CDN ASes (Table 1b: Akamai
+//!   > half the aliased hits, Amazon over a third; Cloudflare and Mittwald
+//!   > aliased at /112 rather than /96 granularity; Amazon 16509 containing
+//!   > *both* aliased and honest subnets);
+//! * dealiased hits dominated by hosting providers with structured
+//!   assignment (Table 1c: Amazon, OVH, Hetzner, HostEurope, …);
+//! * a long tail of small networks so per-prefix seed counts span the
+//!   buckets of Figures 5 and 7 ([2,10) … [10⁴,10⁵));
+//! * churned hosts (once-active addresses that linger in DNS, §6.6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sixgen_addr::Prefix;
+use sixgen_simnet::{
+    AliasedRegion, HostKind, HostPopulation, HostScheme, Internet, NetworkSpec, SubnetPlan,
+};
+
+/// Parameters for world construction.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Multiplies every population count (1.0 ≈ 40 K active hosts). Use
+    /// smaller scales for quick tests, larger for stress runs.
+    pub scale: f64,
+    /// RNG seed for materialization (host placement, random schemes).
+    pub rng_seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            scale: 1.0,
+            rng_seed: 0x706,
+        }
+    }
+}
+
+fn p(s: &str) -> Prefix {
+    s.parse().expect("static prefix")
+}
+
+/// Scales a base count, keeping at least 2.
+fn n(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(2)
+}
+
+/// One population, briefly.
+fn pop(
+    scheme: HostScheme,
+    subnets: SubnetPlan,
+    count: usize,
+    churned: usize,
+    kind: HostKind,
+) -> HostPopulation {
+    HostPopulation {
+        scheme,
+        subnets,
+        count,
+        churned,
+        kind,
+    }
+}
+
+/// Builds the network specifications of the default world.
+pub fn world_specs(config: &WorldConfig) -> Vec<NetworkSpec> {
+    let s = config.scale;
+    let seq = HostScheme::LowByteSequential;
+    let mut specs = vec![
+        // ------- Hosting providers: structured, discoverable (Table 1c) --
+        NetworkSpec {
+            prefix: p("2600:3c00::/32"),
+            asn: 63949,
+            name: "Linode".into(),
+            populations: vec![
+                pop(seq.clone(), SubnetPlan::Sequential { count: 40 }, n(3400, s), n(400, s), HostKind::Web),
+                pop(HostScheme::PortEmbedded { port: 80 }, SubnetPlan::Single(1), n(300, s), 0, HostKind::Web),
+            ],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        // Amazon 16509: honest subnets *and* aliased subnets (§6.6 notes
+        // AS-level alias filtering is too coarse for exactly this reason).
+        NetworkSpec {
+            prefix: p("2600:9000::/32"),
+            asn: 16509,
+            name: "Amazon".into(),
+            populations: vec![
+                // Honest subnets (group 3 values 0..29): Table 1c's
+                // dealiased-hit leader.
+                pop(HostScheme::Ipv4Embedded { base: [52, 84, 0, 10] }, SubnetPlan::Sequential { count: 30 }, n(2000, s), n(250, s), HostKind::Web),
+                // Seeds inside the aliased 2600:9000:a:11xx::/56.
+                pop(HostScheme::LowByteRandom { nybbles: 4 }, SubnetPlan::Single(0xa_11a5), n(1200, s), 0, HostKind::Web),
+                // Seeds inside the aliased 2600:9000:5300::/48.
+                pop(HostScheme::LowByteRandom { nybbles: 4 }, SubnetPlan::Single(0x5300_0000), n(150, s), 0, HostKind::Web),
+            ],
+            aliased: vec![
+                AliasedRegion { prefix: p("2600:9000:a:1100::/56"), ports: vec![80] },
+                AliasedRegion { prefix: p("2600:9000:5300::/48"), ports: vec![80] },
+            ],
+            ports: vec![80],
+        },
+        // Amazon's second routed prefix: pure CDN-style aliased space, so
+        // the AS absorbs nearly two prefixes' budgets in aliased hits
+        // (Table 1b: Amazon ≈ 36 %).
+        NetworkSpec {
+            prefix: p("2600:9001::/32"),
+            asn: 16509,
+            name: "Amazon".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 5 }, SubnetPlan::Sequential { count: 5 }, n(1300, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2600:9001::/48"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2600:1f00::/32"),
+            asn: 14618,
+            name: "Amazon-14618".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Sequential { count: 60 }, n(1500, s), n(150, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a01:488::/32"),
+            asn: 20773,
+            name: "HostEurope".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Sequential { count: 500 }, n(2700, s), n(300, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        // DTAG: a big ISP with privacy addresses. Consumer hosts rotate
+        // their RFC 4941 identifiers, so most DNS-visible seeds are stale:
+        // lots of seeds, almost nothing discoverable or even rediscoverable.
+        NetworkSpec {
+            prefix: p("2003::/19"),
+            asn: 3320,
+            name: "DTAG".into(),
+            populations: vec![pop(HostScheme::PrivacyRandom, SubnetPlan::RandomSparse { count: 2000 }, n(1200, s), n(3200, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a02:2f8::/32"),
+            asn: 12824,
+            name: "home.pl".into(),
+            populations: vec![pop(HostScheme::PortEmbedded { port: 80 }, SubnetPlan::Sequential { count: 300 }, n(2200, s), n(200, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        // Masterhost: mostly honest, small aliased /64 (1% of aliased hits).
+        NetworkSpec {
+            prefix: p("2a00:15f8::/32"),
+            asn: 25532,
+            name: "Masterhost".into(),
+            populations: vec![
+                pop(seq.clone(), SubnetPlan::Sequential { count: 120 }, n(2100, s), n(250, s), HostKind::Web),
+                // A handful of seeds inside the one aliased /64 (≈1 % of
+                // aliased hits in Table 1b).
+                pop(HostScheme::LowByteRandom { nybbles: 4 }, SubnetPlan::Single(0xdead), n(120, s), 0, HostKind::Web),
+            ],
+            aliased: vec![AliasedRegion { prefix: p("2a00:15f8:0:dead::/64"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2001:470::/32"),
+            asn: 6939,
+            name: "Hurricane".into(),
+            populations: vec![
+                pop(HostScheme::Eui64 { oui: [0x00, 0x1b, 0x21] }, SubnetPlan::Sequential { count: 800 }, n(1500, s), n(150, s), HostKind::Router),
+                pop(HostScheme::Wordy, SubnetPlan::Single(2), n(300, s), 0, HostKind::Web),
+            ],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        // Cloudflare: aliased at /112 granularity (§6.2's manual finding).
+        NetworkSpec {
+            prefix: p("2606:4700::/32"),
+            asn: 13335,
+            name: "Cloudflare".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0), n(1500, s), 0, HostKind::Web)],
+            aliased: vec![
+                // The population's own /112 plus neighbours: the whole AS
+                // aliases at /112 granularity, invisible to the /96 test.
+                AliasedRegion { prefix: p("2606:4700::/112"), ports: vec![80] },
+                AliasedRegion { prefix: p("2606:4700::1:0/112"), ports: vec![80] },
+                AliasedRegion { prefix: p("2606:4700::2:0/112"), ports: vec![80] },
+                AliasedRegion { prefix: p("2606:4700::3:0/112"), ports: vec![80] },
+            ],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a03:f80::/32"),
+            asn: 47490,
+            name: "TuxBox".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Single(0), n(1200, s), n(100, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2001:8d8::/32"),
+            asn: 8560,
+            name: "OneAndOne".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Sequential { count: 250 }, n(1000, s), n(120, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2001:41d0::/32"),
+            asn: 16276,
+            name: "OVH".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Strided { count: 300, stride: 0x1_0000 }, n(2300, s), n(200, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a01:4f8::/32"),
+            asn: 24940,
+            name: "Hetzner".into(),
+            populations: vec![pop(HostScheme::Ipv4Embedded { base: [88, 198, 0, 5] }, SubnetPlan::Strided { count: 200, stride: 0x100 }, n(1900, s), n(150, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a00:6800::/34"),
+            asn: 25560,
+            name: "RH-TEC".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Sequential { count: 90 }, n(1100, s), n(80, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a02:748::/32"),
+            asn: 25234,
+            name: "Globe".into(),
+            populations: vec![pop(HostScheme::PortEmbedded { port: 443 }, SubnetPlan::Strided { count: 150, stride: 0x10 }, n(950, s), n(60, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80, 443],
+        },
+        NetworkSpec {
+            prefix: p("2603:5000::/32"),
+            asn: 26496,
+            name: "GoDaddy".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Strided { count: 120, stride: 0x1000 }, n(850, s), n(90, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a00:1158::/32"),
+            asn: 58010,
+            name: "Uvensys".into(),
+            populations: vec![pop(seq.clone(), SubnetPlan::Sequential { count: 60 }, n(800, s), n(70, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2604:a880::/32"),
+            asn: 14061,
+            name: "DigitalOcean".into(),
+            populations: vec![pop(HostScheme::Ipv4Embedded { base: [104, 16, 0, 9] }, SubnetPlan::Sequential { count: 110 }, n(780, s), n(50, s), HostKind::Web)],
+            aliased: vec![],
+            ports: vec![80],
+        },
+        // Mittwald: the other /112-granularity aliaser.
+        NetworkSpec {
+            prefix: p("2a00:1ed0::/32"),
+            asn: 15817,
+            name: "Mittwald".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0), n(700, s), 0, HostKind::Web)],
+            aliased: vec![
+                AliasedRegion { prefix: p("2a00:1ed0::/112"), ports: vec![80] },
+                AliasedRegion { prefix: p("2a00:1ed0::7:0/112"), ports: vec![80] },
+                AliasedRegion { prefix: p("2a00:1ed0::8:0/112"), ports: vec![80] },
+            ],
+            ports: vec![80],
+        },
+        // ---------------- CDNs: alias-dominated (Table 1b) ---------------
+        NetworkSpec {
+            prefix: p("2600:1400::/32"),
+            asn: 20940,
+            name: "Akamai".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 5 }, SubnetPlan::Sequential { count: 6 }, n(1800, s), n(100, s), HostKind::Web)],
+            aliased: vec![
+                AliasedRegion { prefix: p("2600:1400::/48"), ports: vec![80] },
+                AliasedRegion { prefix: p("2600:1400:2::/48"), ports: vec![80] },
+                AliasedRegion { prefix: p("2600:1400:4:100::/56"), ports: vec![80] },
+            ],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2600:1480::/32"),
+            asn: 20940,
+            name: "Akamai".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 5 }, SubnetPlan::Sequential { count: 4 }, n(1100, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2600:1480::/48"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2602::/24"),
+            asn: 209,
+            name: "CenturyLink".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0x10), n(450, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2602::/56"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2001:668::/32"),
+            asn: 3257,
+            name: "GTT".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0x22), n(420, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2001:668::/56"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a04:4e40::/32"),
+            asn: 54113,
+            name: "Fastly".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0), n(430, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2a04:4e40::/48"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2607:f8b0::/32"),
+            asn: 15169,
+            name: "Google".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(0x4002), n(440, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2607:f8b0:0:4000::/56"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2001:748::/32"),
+            asn: 2828,
+            name: "XO".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(1), n(200, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2001:748:0:1::/64"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        NetworkSpec {
+            prefix: p("2a00:c38::/32"),
+            asn: 13189,
+            name: "Lidero".into(),
+            populations: vec![pop(HostScheme::LowByteRandom { nybbles: 3 }, SubnetPlan::Single(3), n(160, s), 0, HostKind::Web)],
+            aliased: vec![AliasedRegion { prefix: p("2a00:c38:0:3::/64"), ports: vec![80] }],
+            ports: vec![80],
+        },
+        // -------- Name-server population for the §6.7.1 experiment -------
+        NetworkSpec {
+            prefix: p("2610:a1::/32"),
+            asn: 19905,
+            name: "NSProvider".into(),
+            populations: vec![
+                pop(seq.clone(), SubnetPlan::Sequential { count: 30 }, n(900, s), n(60, s), HostKind::NameServer),
+                pop(HostScheme::Wordy, SubnetPlan::Single(5), n(350, s), 0, HostKind::Web),
+            ],
+            aliased: vec![],
+            ports: vec![80, 53],
+        },
+    ];
+
+    // Long tail of small networks: seed counts spanning the [2,10) and
+    // [10,100) buckets of Figures 5 and 7.
+    let mut tail_rng = StdRng::seed_from_u64(config.rng_seed ^ 0x7a11);
+    for i in 0..18u32 {
+        let count = match i % 3 {
+            0 => n(8, s),
+            1 => n(45, s),
+            _ => n(180, s),
+        };
+        let scheme = match i % 4 {
+            0 => HostScheme::LowByteSequential,
+            1 => HostScheme::Wordy,
+            2 => HostScheme::PortEmbedded { port: 80 },
+            _ => HostScheme::Eui64 {
+                oui: [0x00, 0x50, 0x56],
+            },
+        };
+        let third_group: u16 = tail_rng.gen();
+        specs.push(NetworkSpec {
+            prefix: format!("2a0c:{:x}:{:x}::/48", 0x100 + i, third_group)
+                .parse()
+                .expect("tail prefix"),
+            asn: 64500 + i,
+            name: format!("SmallNet-{i}"),
+            populations: vec![pop(
+                scheme,
+                SubnetPlan::Sequential { count: 4 },
+                count,
+                count / 8,
+                HostKind::Web,
+            )],
+            aliased: vec![],
+            ports: vec![80],
+        });
+    }
+    specs
+}
+
+/// Materializes the default world.
+pub fn build_world(config: &WorldConfig) -> Internet {
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    Internet::build(world_specs(config), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixgen_simnet::SeedExtraction;
+
+    #[test]
+    fn world_builds_and_is_populated() {
+        let world = build_world(&WorldConfig {
+            scale: 0.1,
+            rng_seed: 1,
+        });
+        assert!(world.networks().len() >= 40);
+        assert!(world.active_host_count() > 2000);
+        // Multiple prefixes for Akamai, both /112 aliasers present.
+        let akamai = world
+            .networks()
+            .iter()
+            .filter(|n| n.spec().asn == 20940)
+            .count();
+        assert_eq!(akamai, 2);
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let cfg = WorldConfig {
+            scale: 0.05,
+            rng_seed: 9,
+        };
+        let w1 = build_world(&cfg);
+        let w2 = build_world(&cfg);
+        assert_eq!(w1.active_host_count(), w2.active_host_count());
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let e = SeedExtraction::default();
+        assert_eq!(w1.extract_seeds(&e, &mut rng1), w2.extract_seeds(&e, &mut rng2));
+    }
+
+    #[test]
+    fn aliased_regions_respond_and_honest_do_not() {
+        let world = build_world(&WorldConfig {
+            scale: 0.05,
+            rng_seed: 1,
+        });
+        // Any random address inside the Akamai aliased /48 responds.
+        assert!(world.is_responsive("2600:1400::dead:beef:1:2".parse().unwrap(), 80));
+        // Cloudflare /112 aliasing: inside responds, outside does not.
+        assert!(world.is_responsive("2606:4700::1:abcd".parse().unwrap(), 80));
+        assert!(!world.is_responsive("2606:4700::4:abcd".parse().unwrap(), 80));
+        // A random address in an honest hosting network does not respond.
+        assert!(!world.is_responsive("2600:3c00::dead:beef".parse().unwrap(), 80));
+    }
+
+    #[test]
+    fn seed_extraction_covers_many_prefixes() {
+        let world = build_world(&WorldConfig {
+            scale: 0.1,
+            rng_seed: 1,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let seeds = world.extract_seeds(&SeedExtraction::default(), &mut rng);
+        assert!(seeds.len() > 1500, "got {}", seeds.len());
+        let (grouped, unrouted) =
+            world.table().group_by_prefix(seeds.iter().map(|s| s.addr));
+        assert!(unrouted.is_empty(), "all seeds lie in routed prefixes");
+        assert!(grouped.len() >= 30, "got {} prefixes", grouped.len());
+        // Name-server seeds exist for the §6.7.1 experiment.
+        assert!(seeds
+            .iter()
+            .any(|s| s.kind == sixgen_simnet::HostKind::NameServer));
+    }
+
+    #[test]
+    fn scale_controls_population() {
+        let small = build_world(&WorldConfig { scale: 0.05, rng_seed: 1 });
+        let large = build_world(&WorldConfig { scale: 0.5, rng_seed: 1 });
+        assert!(large.active_host_count() > 5 * small.active_host_count());
+    }
+}

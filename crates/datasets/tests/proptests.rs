@@ -1,0 +1,88 @@
+//! Property tests for dataset generation and I/O.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sixgen_addr::NybbleAddr;
+use sixgen_datasets::io::{
+    decode_hitlist_binary, encode_hitlist_binary, read_hitlist, write_hitlist,
+};
+use sixgen_datasets::{downsample, inverse_kfold, split_groups};
+use std::collections::HashSet;
+
+fn arb_addrs() -> impl Strategy<Value = Vec<NybbleAddr>> {
+    prop::collection::vec(any::<u128>(), 0..200).prop_map(|mut bits| {
+        bits.sort_unstable();
+        bits.dedup();
+        bits.into_iter().map(NybbleAddr::from_bits).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn text_hitlist_roundtrips(addrs in arb_addrs()) {
+        let mut buf = Vec::new();
+        write_hitlist(&mut buf, &addrs).unwrap();
+        let back = read_hitlist(&buf[..]).unwrap();
+        prop_assert_eq!(back, addrs);
+    }
+
+    #[test]
+    fn binary_hitlist_roundtrips(addrs in arb_addrs()) {
+        let encoded = encode_hitlist_binary(&addrs);
+        prop_assert_eq!(encoded.len(), 16 + addrs.len() * 16);
+        let back = decode_hitlist_binary(encoded).unwrap();
+        prop_assert_eq!(back, addrs);
+    }
+
+    #[test]
+    fn binary_rejects_any_truncation(addrs in arb_addrs(), cut in any::<usize>()) {
+        prop_assume!(!addrs.is_empty());
+        let encoded = encode_hitlist_binary(&addrs);
+        let cut = cut % (encoded.len() - 1) + 1; // 1..len
+        let truncated = encoded.slice(0..encoded.len() - cut);
+        prop_assert!(decode_hitlist_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn split_partitions_exactly(addrs in arb_addrs(), k in 1usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups = split_groups(&addrs, k, &mut rng);
+        prop_assert_eq!(groups.len(), k);
+        let mut all: Vec<NybbleAddr> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expect = addrs.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect, "partition must preserve the multiset");
+        // Sizes balanced within one.
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn inverse_kfold_covers_everything(addrs in arb_addrs(), k in 1usize..8, seed in any::<u64>()) {
+        prop_assume!(addrs.len() >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups = split_groups(&addrs, k, &mut rng);
+        let folds = inverse_kfold(&groups);
+        prop_assert_eq!(folds.len(), k);
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), addrs.len());
+            let train_set: HashSet<_> = train.iter().collect();
+            prop_assert!(test.iter().all(|t| !train_set.contains(t)));
+        }
+    }
+
+    #[test]
+    fn downsample_size_and_subset(addrs in arb_addrs(), fraction in 0.0f64..1.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = downsample(&addrs, fraction, &mut rng);
+        let want = ((addrs.len() as f64 * fraction).round() as usize).min(addrs.len());
+        prop_assert_eq!(sample.len(), want);
+        let pool: HashSet<_> = addrs.iter().collect();
+        prop_assert!(sample.iter().all(|s| pool.contains(s)));
+        let uniq: HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(uniq.len(), sample.len(), "without replacement");
+    }
+}

@@ -1,0 +1,323 @@
+//! The Bayesian network over segment atoms.
+//!
+//! "Entropy/IP utilizes a Bayesian network to model the statistical
+//! dependencies between values of different segments" (§3.3 of the 6Gen
+//! paper). The original learned structure with the external BNFinder tool;
+//! here the structure is the Chow–Liu tree: the spanning tree over segment
+//! variables that maximizes total pairwise mutual information, which is the
+//! provably optimal tree-shaped approximation of the joint distribution.
+
+use crate::segment::Segment;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Conditional probability table of one variable.
+#[derive(Debug, Clone)]
+enum Cpt {
+    /// Root variable: `p[atom]`.
+    Marginal(Vec<f64>),
+    /// Child variable: `p[parent_atom][atom]`.
+    Conditional(Vec<Vec<f64>>),
+}
+
+/// A tree-shaped Bayesian network over segment atom assignments.
+#[derive(Debug, Clone)]
+pub struct BayesNet {
+    /// Topological order (root first).
+    order: Vec<usize>,
+    /// Parent of each variable (None for the root).
+    parent: Vec<Option<usize>>,
+    /// CPT of each variable.
+    tables: Vec<Cpt>,
+}
+
+impl BayesNet {
+    /// Learns structure (Chow–Liu) and parameters (Laplace-smoothed
+    /// counts) from per-address atom assignments.
+    ///
+    /// `assignments[a][s]` is the atom index of address `a` in segment `s`.
+    pub fn chow_liu(segments: &[Segment], assignments: &[Vec<usize>], laplace: f64) -> BayesNet {
+        let k = segments.len();
+        assert!(k > 0, "at least one segment required");
+        assert!(!assignments.is_empty(), "at least one training address required");
+        let domains: Vec<usize> = segments.iter().map(|s| s.atoms.len()).collect();
+
+        // Pairwise mutual information between segment variables.
+        let mi = |x: usize, y: usize| -> f64 {
+            let (dx, dy) = (domains[x], domains[y]);
+            let mut joint = vec![0f64; dx * dy];
+            let mut px = vec![0f64; dx];
+            let mut py = vec![0f64; dy];
+            let n = assignments.len() as f64;
+            for row in assignments {
+                joint[row[x] * dy + row[y]] += 1.0;
+                px[row[x]] += 1.0;
+                py[row[y]] += 1.0;
+            }
+            let mut total = 0.0;
+            for a in 0..dx {
+                for b in 0..dy {
+                    let pxy = joint[a * dy + b] / n;
+                    if pxy > 0.0 {
+                        total += pxy * (pxy / (px[a] / n * py[b] / n)).ln();
+                    }
+                }
+            }
+            total
+        };
+
+        // Prim's algorithm for the maximum spanning tree, rooted at the
+        // first (most significant) segment.
+        let mut parent = vec![None; k];
+        let mut in_tree = vec![false; k];
+        let mut best_edge: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); k];
+        let mut order = Vec::with_capacity(k);
+        in_tree[0] = true;
+        order.push(0);
+        for (other, edge) in best_edge.iter_mut().enumerate().skip(1) {
+            *edge = (mi(0, other), 0);
+        }
+        for _ in 1..k {
+            let (next, _) = best_edge
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !in_tree[*i])
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("MI is finite"))
+                .map(|(i, e)| (i, e.0))
+                .expect("a non-tree vertex always exists in the loop");
+            in_tree[next] = true;
+            parent[next] = Some(best_edge[next].1);
+            order.push(next);
+            for (other, edge) in best_edge.iter_mut().enumerate() {
+                if !in_tree[other] {
+                    let w = mi(next, other);
+                    if w > edge.0 {
+                        *edge = (w, next);
+                    }
+                }
+            }
+        }
+
+        // Parameter estimation with Laplace smoothing.
+        let tables: Vec<Cpt> = (0..k)
+            .map(|v| match parent[v] {
+                None => {
+                    let mut counts = vec![laplace; domains[v]];
+                    for row in assignments {
+                        counts[row[v]] += 1.0;
+                    }
+                    let total: f64 = counts.iter().sum();
+                    Cpt::Marginal(counts.into_iter().map(|c| c / total).collect())
+                }
+                Some(p) => {
+                    let mut counts = vec![vec![laplace; domains[v]]; domains[p]];
+                    for row in assignments {
+                        counts[row[p]][row[v]] += 1.0;
+                    }
+                    Cpt::Conditional(
+                        counts
+                            .into_iter()
+                            .map(|row| {
+                                let total: f64 = row.iter().sum();
+                                row.into_iter().map(|c| c / total).collect()
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+
+        BayesNet {
+            order,
+            parent,
+            tables,
+        }
+    }
+
+    /// The parent of segment `v` in the learned tree.
+    pub fn parent_of(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// The topological order used for sampling (root first; every parent
+    /// precedes its children).
+    pub fn topological_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Draws a full atom assignment by ancestral sampling.
+    pub fn sample_assignment(&self, rng: &mut StdRng) -> Vec<usize> {
+        let mut assignment = vec![usize::MAX; self.parent.len()];
+        for &v in &self.order {
+            let dist: &[f64] = match &self.tables[v] {
+                Cpt::Marginal(p) => p,
+                Cpt::Conditional(rows) => {
+                    let p = self.parent[v].expect("conditional nodes have parents");
+                    &rows[assignment[p]]
+                }
+            };
+            assignment[v] = sample_categorical(dist, rng);
+        }
+        assignment
+    }
+
+    /// The probability of `atom` for variable `v` given a parent atom
+    /// (ignored for the root). Exposed for tests and model inspection.
+    pub fn probability(&self, v: usize, atom: usize, parent_atom: Option<usize>) -> f64 {
+        match &self.tables[v] {
+            Cpt::Marginal(p) => p[atom],
+            Cpt::Conditional(rows) => rows[parent_atom.expect("parent atom required")][atom],
+        }
+    }
+}
+
+/// Samples an index from an (unnormalized-tolerant) categorical
+/// distribution.
+fn sample_categorical(dist: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = dist.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &p) in dist.iter().enumerate() {
+        draw -= p;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    dist.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntropyIpConfig;
+    use rand::SeedableRng;
+    use sixgen_addr::NybbleAddr;
+
+    /// Builds segments over the last two groups with controlled values.
+    fn two_segments(values: &[(u64, u64)]) -> (Vec<Segment>, Vec<Vec<usize>>) {
+        let addrs: Vec<NybbleAddr> = values
+            .iter()
+            .map(|&(a, b)| NybbleAddr::from_bits((a as u128) << 16 | b as u128))
+            .collect();
+        let cfg = EntropyIpConfig::default();
+        let s1 = Segment::mine(&addrs, 24, 28, 0.5, &cfg);
+        let s2 = Segment::mine(&addrs, 28, 32, 0.5, &cfg);
+        let segments = vec![s1, s2];
+        let assignments: Vec<Vec<usize>> = addrs
+            .iter()
+            .map(|a| segments.iter().map(|s| s.atom_of(*a)).collect())
+            .collect();
+        (segments, assignments)
+    }
+
+    #[test]
+    fn perfectly_correlated_variables_learn_dependency() {
+        // b == a for a in {1, 2}; 50/50.
+        let mut data = vec![(1u64, 1u64); 50];
+        data.extend(vec![(2, 2); 50]);
+        let (segments, assignments) = two_segments(&data);
+        let bn = BayesNet::chow_liu(&segments, &assignments, 0.01);
+        assert_eq!(bn.parent_of(0), None);
+        assert_eq!(bn.parent_of(1), Some(0));
+        // Sampling must produce matched pairs almost always.
+        let mut rng = StdRng::seed_from_u64(2);
+        let matched = (0..200)
+            .filter(|_| {
+                let a = bn.sample_assignment(&mut rng);
+                a[0] == a[1] // atoms are index-aligned for equal value sets
+            })
+            .count();
+        assert!(matched > 190, "only {matched}/200 matched");
+    }
+
+    #[test]
+    fn independent_variables_still_sample_marginals() {
+        // a uniform over {1,2}, b always 7: independent.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            data.push((1 + (i % 2) as u64, 7u64));
+        }
+        let (segments, assignments) = two_segments(&data);
+        let bn = BayesNet::chow_liu(&segments, &assignments, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first_counts = [0u32; 2];
+        for _ in 0..400 {
+            let a = bn.sample_assignment(&mut rng);
+            first_counts[a[0].min(1)] += 1;
+        }
+        // Roughly balanced marginal for the first variable.
+        assert!(first_counts[0] > 120 && first_counts[1] > 120, "{first_counts:?}");
+    }
+
+    #[test]
+    fn single_variable_network() {
+        let data = [(0u64, 5u64); 10];
+        let addrs: Vec<NybbleAddr> = data
+            .iter()
+            .map(|&(_, b)| NybbleAddr::from_bits(b as u128))
+            .collect();
+        let cfg = EntropyIpConfig::default();
+        let seg = Segment::mine(&addrs, 28, 32, 0.0, &cfg);
+        let assignments: Vec<Vec<usize>> = addrs
+            .iter()
+            .map(|a| vec![seg.atom_of(*a)])
+            .collect();
+        let bn = BayesNet::chow_liu(&[seg], &assignments, 0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(bn.sample_assignment(&mut rng), vec![0]);
+        assert!(bn.probability(0, 0, None) > 0.99);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let mut data = vec![(1u64, 3u64); 30];
+        data.extend(vec![(2, 4); 30]);
+        data.extend(vec![(1, 4); 40]);
+        let (segments, assignments) = two_segments(&data);
+        let bn = BayesNet::chow_liu(&segments, &assignments, 0.05);
+        // Root marginal sums to 1.
+        let root = bn.order_root();
+        let dom = segments[root].atoms.len();
+        let total: f64 = (0..dom).map(|a| bn.probability(root, a, None)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    impl BayesNet {
+        fn order_root(&self) -> usize {
+            self.order[0]
+        }
+    }
+
+    #[test]
+    fn chain_of_three_variables() {
+        // v0 → v1 strongly, v1 → v2 strongly, v0 ⟂ v2 given v1 is weaker
+        // than direct links: Chow-Liu must recover a chain (or star), never
+        // leave a variable parentless besides the root.
+        let addrs: Vec<NybbleAddr> = (0..300u32)
+            .map(|i| {
+                let v = (i % 3) as u128;
+                NybbleAddr::from_bits(v << 8 | v << 4 | v)
+            })
+            .collect();
+        let cfg = EntropyIpConfig::default();
+        let segs: Vec<Segment> = [(29usize, 30usize), (30, 31), (31, 32)]
+            .iter()
+            .map(|&(s, e)| Segment::mine(&addrs, s, e, 0.5, &cfg))
+            .collect();
+        let assignments: Vec<Vec<usize>> = addrs
+            .iter()
+            .map(|a| segs.iter().map(|s| s.atom_of(*a)).collect())
+            .collect();
+        let bn = BayesNet::chow_liu(&segs, &assignments, 0.01);
+        let parentless = (0..3).filter(|&v| bn.parent_of(v).is_none()).count();
+        assert_eq!(parentless, 1, "exactly one root");
+        // Sampling preserves the three-way correlation.
+        let mut rng = StdRng::seed_from_u64(8);
+        let consistent = (0..200)
+            .filter(|_| {
+                let a = bn.sample_assignment(&mut rng);
+                a[0] == a[1] && a[1] == a[2]
+            })
+            .count();
+        assert!(consistent > 180, "{consistent}/200");
+    }
+}

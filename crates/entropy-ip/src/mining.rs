@@ -1,0 +1,211 @@
+//! Per-segment value mining: frequent values, value ranges, and the
+//! uniform-random catch-all ("For each segment, it clusters segment values
+//! along several metrics", §3.3 of the 6Gen paper).
+
+use crate::EntropyIpConfig;
+use std::collections::HashMap;
+
+/// The value model of one atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomKind {
+    /// A single frequent value.
+    Value(u64),
+    /// A contiguous range of observed values, sampled uniformly.
+    Range(u64, u64),
+    /// Uniform over the segment's whole value space (high-entropy
+    /// segments where no structure is minable).
+    Random,
+}
+
+/// One mined atom: a value model plus its empirical probability mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// Value model.
+    pub kind: AtomKind,
+    /// Fraction of training addresses whose segment value this atom
+    /// covers.
+    pub weight: f64,
+}
+
+/// Mines the atom set for one segment.
+///
+/// * Values whose relative frequency reaches `frequent_threshold` become
+///   [`AtomKind::Value`] atoms.
+/// * Remaining observed values are sorted and greedily merged into
+///   [`AtomKind::Range`] atoms wherever consecutive values are within
+///   `range_gap` of each other.
+/// * If the segment's entropy exceeds `random_entropy` and no frequent
+///   value exists, the whole segment collapses to a single
+///   [`AtomKind::Random`] atom (structure is not minable).
+///
+/// The returned atoms cover every observed value and carry weights that
+/// sum to 1 (±ε).
+pub(crate) fn mine_atoms(
+    values: &[u64],
+    width_nybbles: u32,
+    entropy: f64,
+    config: &EntropyIpConfig,
+) -> Vec<Atom> {
+    assert!(!values.is_empty(), "mine_atoms requires observed values");
+    let n = values.len() as f64;
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_default() += 1;
+    }
+
+    let mut frequent: Vec<(u64, u64)> = counts
+        .iter()
+        .filter(|(_, &c)| c as f64 / n >= config.frequent_threshold)
+        .map(|(&v, &c)| (v, c))
+        .collect();
+    frequent.sort_unstable();
+
+    if frequent.is_empty() && entropy > config.random_entropy {
+        // Unminable high-entropy segment: model as uniform noise. Width is
+        // capped at 16 nybbles by segmentation so the space is u64-sized.
+        let _ = width_nybbles;
+        return vec![Atom {
+            kind: AtomKind::Random,
+            weight: 1.0,
+        }];
+    }
+
+    let mut atoms: Vec<Atom> = frequent
+        .iter()
+        .map(|&(v, c)| Atom {
+            kind: AtomKind::Value(v),
+            weight: c as f64 / n,
+        })
+        .collect();
+
+    // Residual values: greedy contiguous-range clustering.
+    let mut residual: Vec<(u64, u64)> = counts
+        .iter()
+        .filter(|(v, _)| !frequent.iter().any(|(f, _)| f == *v))
+        .map(|(&v, &c)| (v, c))
+        .collect();
+    residual.sort_unstable();
+    let mut i = 0;
+    while i < residual.len() {
+        let (lo, mut mass) = residual[i];
+        let mut hi = lo;
+        while i + 1 < residual.len() && residual[i + 1].0 - hi <= config.range_gap {
+            i += 1;
+            hi = residual[i].0;
+            mass += residual[i].1;
+        }
+        atoms.push(Atom {
+            kind: if lo == hi {
+                AtomKind::Value(lo)
+            } else {
+                AtomKind::Range(lo, hi)
+            },
+            weight: mass as f64 / n,
+        });
+        i += 1;
+    }
+    debug_assert!(
+        (atoms.iter().map(|a| a.weight).sum::<f64>() - 1.0).abs() < 1e-9,
+        "atom weights must sum to 1"
+    );
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EntropyIpConfig {
+        EntropyIpConfig::default()
+    }
+
+    #[test]
+    fn single_value_single_atom() {
+        let atoms = mine_atoms(&[7; 100], 4, 0.0, &cfg());
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].kind, AtomKind::Value(7));
+        assert!((atoms[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_values_become_value_atoms() {
+        // 40% zeros, 40% ones, 20% spread over 20 rare values.
+        let mut values = vec![0u64; 40];
+        values.extend(vec![1u64; 40]);
+        values.extend((0..20u64).map(|i| 1000 + i * 2));
+        let atoms = mine_atoms(&values, 4, 0.5, &cfg());
+        let value_atoms: Vec<u64> = atoms
+            .iter()
+            .filter_map(|a| match a.kind {
+                AtomKind::Value(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert!(value_atoms.contains(&0));
+        assert!(value_atoms.contains(&1));
+        // The rare tail collapses to one range atom (gaps of 2 ≤ 16).
+        let ranges: Vec<(u64, u64)> = atoms
+            .iter()
+            .filter_map(|a| match a.kind {
+                AtomKind::Range(lo, hi) => Some((lo, hi)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ranges, vec![(1000, 1038)]);
+        let total: f64 = atoms.iter().map(|a| a.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_split_ranges() {
+        // Two distant clusters of rare values.
+        let mut values: Vec<u64> = (0..10).map(|i| 100 + i).collect();
+        values.extend((0..10).map(|i| 90_000 + i));
+        // Make each value rare: add a dominating frequent value.
+        values.extend(vec![5u64; 100]);
+        let atoms = mine_atoms(&values, 8, 0.5, &cfg());
+        let ranges: Vec<(u64, u64)> = atoms
+            .iter()
+            .filter_map(|a| match a.kind {
+                AtomKind::Range(lo, hi) => Some((lo, hi)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ranges, vec![(100, 109), (90_000, 90_009)]);
+    }
+
+    #[test]
+    fn high_entropy_without_frequent_values_is_random() {
+        // 1000 distinct values, each frequency 0.1%.
+        let values: Vec<u64> = (0..1000u64).map(|i| i * 37).collect();
+        let atoms = mine_atoms(&values, 8, 0.95, &cfg());
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].kind, AtomKind::Random);
+    }
+
+    #[test]
+    fn low_entropy_rare_values_stay_ranges() {
+        // Low entropy estimate keeps structure even without frequent
+        // values.
+        let values: Vec<u64> = (0..50u64).collect();
+        let atoms = mine_atoms(&values, 4, 0.3, &cfg());
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].kind, AtomKind::Range(0, 49));
+    }
+
+    #[test]
+    fn isolated_residual_value_becomes_value_atom() {
+        let mut values = vec![0u64; 90];
+        values.extend([500u64; 5]);
+        values.extend([90_000u64; 5]);
+        let atoms = mine_atoms(&values, 8, 0.2, &cfg());
+        assert!(atoms.contains(&Atom {
+            kind: AtomKind::Value(500),
+            weight: 0.05
+        }));
+        assert!(atoms.contains(&Atom {
+            kind: AtomKind::Value(90_000),
+            weight: 0.05
+        }));
+    }
+}

@@ -1,0 +1,314 @@
+//! Budget-aware, probability-ranked generation — the 6Gen paper's
+//! suggested Entropy/IP refinement (§7.1):
+//!
+//! > "modifying the algorithm to specifically cater to scanning purposes,
+//! > such as through factoring in a budget when identifying probable
+//! > address patterns, may enhance its applicability to Internet-wide
+//! > scanning."
+//!
+//! Ancestral sampling (the original behaviour) draws targets in
+//! probability-*proportional* order and wastes budget on duplicate draws.
+//! [`EntropyIpModel::generate_ranked`] instead enumerates atom assignments
+//! in strictly **descending joint probability** via best-first search over
+//! the tree-shaped Bayesian network, then decodes each assignment's
+//! concrete addresses until the budget is filled. Every probe goes to the
+//! most probable not-yet-emitted pattern; no duplicates are ever drawn.
+
+use crate::EntropyIpModel;
+use rand::rngs::StdRng;
+use sixgen_addr::NybbleAddr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A partial/full atom assignment under best-first expansion.
+///
+/// Variables are assigned in the network's topological order, so each
+/// step's conditional probability is available from the CPTs; the score is
+/// the joint log-probability of the assigned prefix, an *exact* value (not
+/// a bound) once complete, and — because extending an assignment only
+/// multiplies by probabilities ≤ 1 — an upper bound on all completions.
+/// Best-first expansion therefore emits complete assignments in exactly
+/// descending joint probability.
+#[derive(Debug, Clone)]
+struct Node {
+    /// log P of the assigned prefix.
+    score: f64,
+    /// Atom per topological position assigned so far.
+    assigned: Vec<usize>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.assigned == other.assigned
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on score; tie-break on the assignment for determinism.
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are finite")
+            .then_with(|| other.assigned.cmp(&self.assigned))
+    }
+}
+
+impl EntropyIpModel {
+    /// Generates up to `budget` addresses in descending model probability.
+    ///
+    /// Assignments whose atoms are all exact values decode to a single
+    /// address; range atoms enumerate their values in order; `Random`
+    /// atoms enumerate their whole space when small and fall back to
+    /// seeded uniform draws when vast (they carry no ranking information
+    /// either way). Returns fewer than `budget` addresses only if the
+    /// model's support is exhausted or the expansion bound trips.
+    pub fn generate_ranked(&self, budget: usize, rng: &mut StdRng) -> Vec<NybbleAddr> {
+        let bayes = self.bayes();
+        let order = bayes.topological_order();
+        let segments = self.segments();
+        let mut out: Vec<NybbleAddr> = Vec::with_capacity(budget.min(1 << 20));
+        let mut seen: std::collections::HashSet<NybbleAddr> = Default::default();
+
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        heap.push(Node {
+            score: 0.0,
+            assigned: Vec::new(),
+        });
+        // Safety valve: the heap can hold at most (budget × max-domain)
+        // nodes before every emission; bound expansions generously.
+        let mut expansions: u64 = 0;
+        let max_expansions = (budget as u64).saturating_mul(64).max(1 << 16);
+
+        while let Some(node) = heap.pop() {
+            if out.len() >= budget || expansions > max_expansions {
+                break;
+            }
+            expansions += 1;
+            let depth = node.assigned.len();
+            if depth == order.len() {
+                // Complete assignment: decode to concrete addresses. Each
+                // assignment receives a budget share proportional to its
+                // joint probability (at least one address), so a single
+                // vast-support pattern cannot swallow the whole budget —
+                // this is precisely the "factor the budget into the
+                // patterns" behaviour the paper suggests.
+                let share = ((budget as f64) * node.score.exp()).ceil() as usize;
+                let share = share.clamp(1, budget - out.len());
+                self.decode_assignment(&node, &order, share, &mut seen, &mut out, rng);
+                // Leftover probability mass: requeue the assignment at a
+                // decayed score so it can emit more once higher-probability
+                // patterns have been served.
+                heap.push(Node {
+                    score: node.score + (0.5f64).ln(),
+                    assigned: node.assigned.clone(),
+                });
+                continue;
+            }
+            // Expand: assign the next topological variable every way.
+            let variable = order[depth];
+            let parent_atom = bayes
+                .parent_of(variable)
+                .map(|p| {
+                    let pos = order.iter().position(|&v| v == p).expect("parent precedes child");
+                    node.assigned[pos]
+                });
+            for atom in 0..segments[variable].atoms.len() {
+                let p = bayes.probability(variable, atom, parent_atom);
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut assigned = node.assigned.clone();
+                assigned.push(atom);
+                heap.push(Node {
+                    score: node.score + p.ln(),
+                    assigned,
+                });
+            }
+        }
+        out
+    }
+
+    /// Decodes one complete assignment into addresses, appending at most
+    /// `share` new addresses to `out` (or fewer if the assignment's
+    /// support is exhausted).
+    fn decode_assignment(
+        &self,
+        node: &Node,
+        order: &[usize],
+        share: usize,
+        seen: &mut std::collections::HashSet<NybbleAddr>,
+        out: &mut Vec<NybbleAddr>,
+        rng: &mut StdRng,
+    ) {
+        let segments = self.segments();
+        // Atom per segment (undo the topological permutation).
+        let mut atom_of_segment = vec![0usize; segments.len()];
+        for (pos, &variable) in order.iter().enumerate() {
+            atom_of_segment[variable] = node.assigned[pos];
+        }
+        // Size of the assignment's concrete support; cap enumeration.
+        let mut support: u128 = 1;
+        for (segment, &atom) in segments.iter().zip(&atom_of_segment) {
+            support = support.saturating_mul(segment.atom_cardinality(atom) as u128);
+        }
+        let want = share.min(support.min(1 << 20) as u128 as usize);
+        let goal = out.len() + want;
+        if support <= want as u128 * 4 {
+            // Small support: enumerate exhaustively (odometer over
+            // per-segment value lists).
+            let mut counters: Vec<u64> = vec![0; segments.len()];
+            'emit: loop {
+                let mut bits: u128 = 0;
+                for ((segment, &atom), &counter) in
+                    segments.iter().zip(&atom_of_segment).zip(&counters)
+                {
+                    bits |= segment.decode_nth(atom, counter);
+                }
+                let addr = NybbleAddr::from_bits(bits);
+                if seen.insert(addr) {
+                    out.push(addr);
+                    if out.len() >= goal {
+                        break 'emit;
+                    }
+                }
+                // Advance the odometer; cardinalities are finite, so the
+                // enumeration always terminates.
+                let mut i = segments.len();
+                loop {
+                    if i == 0 {
+                        break 'emit;
+                    }
+                    i -= 1;
+                    counters[i] += 1;
+                    if counters[i] < segments[i].atom_cardinality(atom_of_segment[i]) {
+                        break;
+                    }
+                    counters[i] = 0;
+                }
+            }
+        } else {
+            // Large support: seeded uniform draws within the assignment.
+            let mut attempts = 0u32;
+            while out.len() < goal && (attempts as usize) < want * 16 {
+                attempts += 1;
+                let mut bits: u128 = 0;
+                for (segment, &atom) in segments.iter().zip(&atom_of_segment) {
+                    bits |= segment.decode(atom, rng);
+                }
+                let addr = NybbleAddr::from_bits(bits);
+                if seen.insert(addr) {
+                    out.push(addr);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntropyIpConfig;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    /// Seeds where value 1 appears 70%, 2 appears 20%, 3 appears 10% in
+    /// the last nybble.
+    fn skewed_seeds() -> Vec<NybbleAddr> {
+        let mut v = Vec::new();
+        for _ in 0..70 {
+            v.push(NybbleAddr::from_bits(0x2001 << 112 | 1));
+        }
+        for _ in 0..20 {
+            v.push(NybbleAddr::from_bits(0x2001 << 112 | 2));
+        }
+        for _ in 0..10 {
+            v.push(NybbleAddr::from_bits(0x2001 << 112 | 3));
+        }
+        v
+    }
+
+    #[test]
+    fn ranked_emits_most_probable_first() {
+        let model = EntropyIpModel::fit(&skewed_seeds(), &EntropyIpConfig::default());
+        let ranked = model.generate_ranked(3, &mut rng());
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0], NybbleAddr::from_bits(0x2001 << 112 | 1));
+        assert_eq!(ranked[1], NybbleAddr::from_bits(0x2001 << 112 | 2));
+        assert_eq!(ranked[2], NybbleAddr::from_bits(0x2001 << 112 | 3));
+    }
+
+    #[test]
+    fn ranked_respects_budget_and_support() {
+        let model = EntropyIpModel::fit(&skewed_seeds(), &EntropyIpConfig::default());
+        let ranked = model.generate_ranked(100, &mut rng());
+        // Support is exactly three addresses.
+        assert_eq!(ranked.len(), 3);
+        let one = model.generate_ranked(1, &mut rng());
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn ranked_has_no_duplicates_and_respects_structure() {
+        let seeds: Vec<NybbleAddr> = (0..400u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | ((i % 20) as u128) << 8 | (i % 5) as u128))
+            .collect();
+        let model = EntropyIpModel::fit(&seeds, &EntropyIpConfig::default());
+        let ranked = model.generate_ranked(80, &mut rng());
+        assert_eq!(ranked.len(), 80);
+        let uniq: std::collections::HashSet<_> = ranked.iter().collect();
+        assert_eq!(uniq.len(), 80);
+        for t in &ranked {
+            assert_eq!(t.bits() >> 96, 0x2001_0db8, "prefix preserved: {t}");
+        }
+    }
+
+    #[test]
+    fn ranked_beats_sampled_at_tight_budgets() {
+        // With a tight budget, ranked generation must cover at least as
+        // many of the true (training) addresses as random sampling.
+        let seeds: Vec<NybbleAddr> = (0..1000u32)
+            .map(|i| {
+                // Zipf-ish skew in the low byte.
+                let v = match i % 10 {
+                    0..=5 => 1u128,
+                    6..=7 => 2,
+                    8 => 3,
+                    _ => (4 + i % 12) as u128,
+                };
+                NybbleAddr::from_bits(0x2001u128 << 112 | ((i % 7) as u128) << 8 | v)
+            })
+            .collect();
+        let truth: std::collections::HashSet<_> = seeds.iter().copied().collect();
+        let model = EntropyIpModel::fit(&seeds, &EntropyIpConfig::default());
+        let budget = 20;
+        let ranked = model.generate_ranked(budget, &mut rng());
+        let sampled = model.generate(budget, &mut rng());
+        let hit = |targets: &[NybbleAddr]| targets.iter().filter(|t| truth.contains(t)).count();
+        assert!(
+            hit(&ranked) >= hit(&sampled),
+            "ranked {} vs sampled {}",
+            hit(&ranked),
+            hit(&sampled)
+        );
+        assert!(hit(&ranked) >= budget / 2, "ranked found only {}", hit(&ranked));
+    }
+
+    #[test]
+    fn ranked_is_deterministic() {
+        let seeds: Vec<NybbleAddr> = (0..100u32)
+            .map(|i| NybbleAddr::from_bits(0xfe80u128 << 112 | (i % 13) as u128))
+            .collect();
+        let model = EntropyIpModel::fit(&seeds, &EntropyIpConfig::default());
+        let a = model.generate_ranked(30, &mut StdRng::seed_from_u64(1));
+        let b = model.generate_ranked(30, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,267 @@
+//! Entropy-guided segmentation and per-segment value handling.
+
+use crate::mining::{mine_atoms, Atom, AtomKind};
+use crate::EntropyIpConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sixgen_addr::{NybbleAddr, NYBBLE_COUNT};
+
+/// Splits the 32 nybble positions into segments of similar entropy:
+/// "Entropy/IP identifies adjacent nybbles whose values have similar levels
+/// of entropy across the addresses, and groups them together into
+/// segments" (§3.3 of the 6Gen paper). A boundary is placed wherever the
+/// normalized entropy jumps by more than the configured threshold; segments
+/// are additionally capped at `max_segment_width` nybbles.
+pub(crate) fn segment_spans(
+    profile: &[f64; NYBBLE_COUNT],
+    config: &EntropyIpConfig,
+) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for i in 1..NYBBLE_COUNT {
+        let boundary = (profile[i] - profile[i - 1]).abs() > config.segment_threshold
+            || i - start >= config.max_segment_width.clamp(1, 16);
+        if boundary {
+            spans.push((start, i));
+            start = i;
+        }
+    }
+    spans.push((start, NYBBLE_COUNT));
+    spans
+}
+
+/// One segment: a span of nybble positions plus its mined value atoms.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First nybble index of the span.
+    pub start: usize,
+    /// One past the last nybble index.
+    pub end: usize,
+    /// Mean normalized entropy over the span.
+    pub entropy: f64,
+    /// Mined value atoms. Invariant: non-empty, and every observed value
+    /// maps to exactly one atom via [`Segment::atom_of`].
+    pub atoms: Vec<Atom>,
+}
+
+impl Segment {
+    /// Mines a segment's atoms from the seed addresses.
+    pub(crate) fn mine(
+        seeds: &[NybbleAddr],
+        start: usize,
+        end: usize,
+        entropy: f64,
+        config: &EntropyIpConfig,
+    ) -> Segment {
+        let values: Vec<u64> = seeds.iter().map(|a| extract(*a, start, end)).collect();
+        let atoms = mine_atoms(&values, (end - start) as u32, entropy, config);
+        Segment {
+            start,
+            end,
+            entropy,
+            atoms,
+        }
+    }
+
+    /// Width of the span in nybbles.
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The atom index an address's segment value falls into.
+    ///
+    /// Every observed value is covered by construction; unseen values fall
+    /// into a containing range atom or the random catch-all, defaulting to
+    /// the nearest atom otherwise (only reachable when classifying
+    /// addresses outside the training set).
+    pub fn atom_of(&self, addr: NybbleAddr) -> usize {
+        let value = extract(addr, self.start, self.end);
+        let mut nearest = 0usize;
+        let mut nearest_distance = u64::MAX;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            match atom.kind {
+                AtomKind::Value(v) => {
+                    if v == value {
+                        return i;
+                    }
+                    let d = v.abs_diff(value);
+                    if d < nearest_distance {
+                        nearest_distance = d;
+                        nearest = i;
+                    }
+                }
+                AtomKind::Range(lo, hi) => {
+                    if (lo..=hi).contains(&value) {
+                        return i;
+                    }
+                    let d = if value < lo { lo - value } else { value - hi };
+                    if d < nearest_distance {
+                        nearest_distance = d;
+                        nearest = i;
+                    }
+                }
+                AtomKind::Random => return i,
+            }
+        }
+        nearest
+    }
+
+    /// Decodes an atom into segment bits positioned within a 128-bit
+    /// address.
+    pub(crate) fn decode(&self, atom: usize, rng: &mut StdRng) -> u128 {
+        let width_bits = 4 * self.width() as u32;
+        let value = match self.atoms[atom].kind {
+            AtomKind::Value(v) => v,
+            AtomKind::Range(lo, hi) => rng.gen_range(lo..=hi),
+            AtomKind::Random => {
+                if width_bits >= 64 {
+                    rng.gen::<u64>()
+                } else {
+                    rng.gen_range(0..1u64 << width_bits)
+                }
+            }
+        };
+        place(value, self.start, self.end)
+    }
+
+    /// Decodes the `index`-th concrete value of an atom, positioned within
+    /// a 128-bit address. For exact-value atoms only index 0 exists; range
+    /// atoms enumerate `lo..=hi` in order; `Random` atoms enumerate the
+    /// segment's whole value space in numeric order (so enumeration is
+    /// deterministic and terminates).
+    pub(crate) fn decode_nth(&self, atom: usize, index: u64) -> u128 {
+        let value = match self.atoms[atom].kind {
+            AtomKind::Value(v) => {
+                debug_assert_eq!(index, 0, "a value atom has a single element");
+                v
+            }
+            AtomKind::Range(lo, hi) => {
+                debug_assert!(lo + index <= hi, "range atom index out of bounds");
+                lo + index
+            }
+            AtomKind::Random => index,
+        };
+        place(value, self.start, self.end)
+    }
+
+    /// Number of concrete values an atom can decode to, saturating at
+    /// `u64::MAX` for 16-nybble random segments.
+    pub(crate) fn atom_cardinality(&self, atom: usize) -> u64 {
+        match self.atoms[atom].kind {
+            AtomKind::Value(_) => 1,
+            AtomKind::Range(lo, hi) => hi - lo + 1,
+            AtomKind::Random => {
+                let bits = 4 * self.width() as u32;
+                if bits >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << bits
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the value of nybbles `[start, end)` from an address as a u64.
+pub(crate) fn extract(addr: NybbleAddr, start: usize, end: usize) -> u64 {
+    debug_assert!(end > start && end - start <= 16);
+    let shift = 4 * (NYBBLE_COUNT - end) as u32;
+    let width = 4 * (end - start) as u32;
+    let mask = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    ((addr.bits() >> shift) & mask) as u64
+}
+
+/// Positions a segment value within a 128-bit address.
+pub(crate) fn place(value: u64, start: usize, end: usize) -> u128 {
+    debug_assert!(end > start && end - start <= 16);
+    (value as u128) << (4 * (NYBBLE_COUNT - end) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn extract_and_place_roundtrip() {
+        let addr = a("2001:db8::dead:beef");
+        assert_eq!(extract(addr, 0, 4), 0x2001);
+        assert_eq!(extract(addr, 24, 32), 0xdead_beef);
+        assert_eq!(extract(addr, 28, 32), 0xbeef);
+        assert_eq!(place(0xbeef, 28, 32), 0xbeef);
+        assert_eq!(place(0x2001, 0, 4), 0x2001u128 << 112);
+        // Round-trip across all full groups.
+        let mut rebuilt = 0u128;
+        for g in 0..8 {
+            rebuilt |= place(extract(addr, g * 4, g * 4 + 4), g * 4, g * 4 + 4);
+        }
+        assert_eq!(NybbleAddr::from_bits(rebuilt), addr);
+    }
+
+    #[test]
+    fn spans_split_on_entropy_jumps() {
+        let mut profile = [0.0f64; NYBBLE_COUNT];
+        profile[16..24].fill(0.5);
+        profile[24..32].fill(1.0);
+        let spans = segment_spans(&profile, &EntropyIpConfig::default());
+        assert_eq!(spans, vec![(0, 16), (16, 24), (24, 32)]);
+    }
+
+    #[test]
+    fn spans_cap_width() {
+        let profile = [0.3f64; NYBBLE_COUNT];
+        let config = EntropyIpConfig {
+            max_segment_width: 8,
+            ..EntropyIpConfig::default()
+        };
+        let spans = segment_spans(&profile, &config);
+        assert_eq!(spans, vec![(0, 8), (8, 16), (16, 24), (24, 32)]);
+        assert!(spans.iter().all(|(s, e)| e - s <= 8));
+    }
+
+    #[test]
+    fn spans_cover_all_positions_exactly_once() {
+        let mut profile = [0.0f64; NYBBLE_COUNT];
+        for (i, p) in profile.iter_mut().enumerate() {
+            *p = (i as f64 * 0.37).sin().abs();
+        }
+        let spans = segment_spans(&profile, &EntropyIpConfig::default());
+        assert_eq!(spans[0].0, 0);
+        assert_eq!(spans.last().unwrap().1, NYBBLE_COUNT);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "spans must be contiguous");
+        }
+    }
+
+    #[test]
+    fn atom_of_classifies_observed_values() {
+        let seeds: Vec<NybbleAddr> = (0..100u32)
+            .map(|i| NybbleAddr::from_bits((i % 3) as u128))
+            .collect();
+        let seg = Segment::mine(&seeds, 28, 32, 0.1, &EntropyIpConfig::default());
+        // Three frequent values → three atoms; each seed maps to its own.
+        for s in &seeds {
+            let atom = &seg.atoms[seg.atom_of(*s)];
+            if let AtomKind::Value(v) = atom.kind {
+                assert_eq!(v, s.bits() as u64);
+            }
+        }
+        assert!(!seg.atoms.is_empty());
+    }
+
+    #[test]
+    fn atom_of_handles_unseen_values() {
+        let seeds: Vec<NybbleAddr> = (0..10u32).map(|i| NybbleAddr::from_bits(i as u128)).collect();
+        let seg = Segment::mine(&seeds, 28, 32, 0.5, &EntropyIpConfig::default());
+        // An unseen value still classifies without panicking.
+        let unseen = NybbleAddr::from_bits(0xFFFF);
+        let _ = seg.atom_of(unseen);
+    }
+}

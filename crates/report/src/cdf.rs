@@ -1,0 +1,142 @@
+//! Empirical CDFs and quantiles.
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted: samples }
+    }
+
+    /// Builds a CDF from integer counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Cdf {
+        Cdf::new(counts.into_iter().map(|c| c as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The fraction of samples ≤ `x` (the CDF evaluated at `x`).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile order out of range");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// The distinct `(value, cumulative_fraction)` steps — the points to
+    /// plot.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = frac,
+                _ => out.push((v, frac)),
+            }
+        }
+        out
+    }
+}
+
+/// Nearest-rank quantiles of a `u64` sample set; convenience for
+/// distribution rows like Figure 7's. Returns values at the given orders.
+pub fn quantiles(samples: &[u64], orders: &[f64]) -> Vec<u64> {
+    let cdf = Cdf::from_counts(samples.iter().copied());
+    orders.iter().map(|&q| cdf.quantile(q) as u64).collect()
+}
+
+/// The median by nearest rank.
+pub fn median(samples: &[u64]) -> u64 {
+    quantiles(samples, &[0.5])[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_values() {
+        let cdf = Cdf::from_counts([1, 2, 2, 3, 10]);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.at(0.0), 0.0);
+        assert_eq!(cdf.at(1.0), 0.2);
+        assert_eq!(cdf.at(2.0), 0.6);
+        assert_eq!(cdf.at(9.9), 0.8);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.at(1e9), 1.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(5.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let cdf = Cdf::from_counts(1..=100u64);
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.quantile(0.25), 25.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.001), 1.0);
+    }
+
+    #[test]
+    fn steps_deduplicate_values() {
+        let cdf = Cdf::from_counts([5, 5, 5, 7]);
+        assert_eq!(cdf.steps(), vec![(5.0, 0.75), (7.0, 1.0)]);
+    }
+
+    #[test]
+    fn helper_functions() {
+        assert_eq!(median(&[9, 1, 5]), 5);
+        assert_eq!(quantiles(&[1, 2, 3, 4], &[0.25, 0.5, 0.75, 1.0]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_rejected() {
+        Cdf::new(vec![]).quantile(0.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! # sixgen-report — tables, CDFs, buckets, and figure series
+//!
+//! Every table and figure in the paper's evaluation reduces to one of a
+//! few presentation primitives:
+//!
+//! * [`TextTable`] — aligned monospace tables (Tables 1a–1c, Table 2);
+//! * [`Cdf`] — empirical CDFs (Figures 3 and 5);
+//! * [`log_bucket`] / [`bucket_label`] — the power-of-ten seed-count
+//!   buckets of Figures 5 and 7;
+//! * [`Series`] — named-column numeric series, printable and writable as
+//!   TSV so each figure's data can be regenerated and re-plotted
+//!   (Figures 2, 4, 6, 8, 9);
+//! * [`quantiles`] / [`median`] — distribution summaries (Figure 7's
+//!   per-bucket distributions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod series;
+mod table;
+
+pub use cdf::{median, quantiles, Cdf};
+pub use series::Series;
+pub use table::TextTable;
+
+/// The power-of-ten bucket index of `count`: bucket `k` holds counts in
+/// `[10^k, 10^(k+1))`, except bucket 0 which holds `[2, 10)` (the paper
+/// buckets prefixes with at least two seeds; a prefix with a single seed
+/// cannot cluster). Returns `None` for counts below 2.
+pub fn log_bucket(count: u64) -> Option<u32> {
+    if count < 2 {
+        return None;
+    }
+    Some((count as f64).log10().floor() as u32)
+}
+
+/// Human-readable bucket label matching the paper's legends:
+/// `[2; 10)`, `[10; 10^2)`, `[10^2; 10^3)`, …
+pub fn bucket_label(bucket: u32) -> String {
+    match bucket {
+        0 => "[2; 10)".to_owned(),
+        1 => "[10; 10^2)".to_owned(),
+        k => format!("[10^{}; 10^{})", k, k + 1),
+    }
+}
+
+/// Formats a count with thousands separators (`1 234 567`), as used in the
+/// experiment printouts.
+pub fn group_digits(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let first = digits.len() % 3;
+    for (i, c) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - first).is_multiple_of(3) {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal (`42.0%`).
+pub fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "-".to_owned();
+    }
+    format!("{:.1}%", part as f64 / whole as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets() {
+        assert_eq!(log_bucket(0), None);
+        assert_eq!(log_bucket(1), None);
+        assert_eq!(log_bucket(2), Some(0));
+        assert_eq!(log_bucket(9), Some(0));
+        assert_eq!(log_bucket(10), Some(1));
+        assert_eq!(log_bucket(99), Some(1));
+        assert_eq!(log_bucket(100), Some(2));
+        assert_eq!(log_bucket(12_345), Some(4));
+        assert_eq!(log_bucket(99_999), Some(4));
+        assert_eq!(log_bucket(100_000), Some(5));
+    }
+
+    #[test]
+    fn bucket_labels() {
+        assert_eq!(bucket_label(0), "[2; 10)");
+        assert_eq!(bucket_label(1), "[10; 10^2)");
+        assert_eq!(bucket_label(3), "[10^3; 10^4)");
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1 000");
+        assert_eq!(group_digits(56_700_000), "56 700 000");
+        assert_eq!(group_digits(100), "100");
+        assert_eq!(group_digits(1_234_567), "1 234 567");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(1, 2), "50.0%");
+        assert_eq!(percent(999, 1000), "99.9%");
+        assert_eq!(percent(0, 10), "0.0%");
+        assert_eq!(percent(5, 0), "-");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the trie-based LPM must agree with a naive linear scan.
+
+use proptest::prelude::*;
+use sixgen_addr::{NybbleAddr, Prefix};
+use sixgen_routing::PrefixTable;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::new(NybbleAddr::from_bits(bits), len))
+}
+
+/// Prefixes drawn from a narrow pool so lookups actually hit nested routes.
+fn arb_clustered_prefix() -> impl Strategy<Value = Prefix> {
+    (0u8..4, 8u8..=64).prop_map(|(net, len)| {
+        let bits = 0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | ((net as u128) << 88);
+        Prefix::new(NybbleAddr::from_bits(bits), len)
+    })
+}
+
+fn naive_lpm(routes: &[(Prefix, u32)], addr: NybbleAddr) -> Option<u32> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, asn)| *asn)
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_naive_scan(
+        routes in prop::collection::vec((arb_clustered_prefix(), any::<u32>()), 0..40),
+        probes in prop::collection::vec(any::<u128>(), 0..40),
+    ) {
+        // Deduplicate prefixes, keeping the *last* origin (insert replaces).
+        let mut effective: Vec<(Prefix, u32)> = Vec::new();
+        for (p, asn) in &routes {
+            if let Some(slot) = effective.iter_mut().find(|(q, _)| q == p) {
+                slot.1 = *asn;
+            } else {
+                effective.push((*p, *asn));
+            }
+        }
+        let table = PrefixTable::from_routes(routes.iter().copied());
+        prop_assert_eq!(table.len(), effective.len());
+        // Probe clustered addresses (likely hits) and random ones.
+        let clustered = probes.iter().map(|&bits| {
+            NybbleAddr::from_bits(0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | (bits >> 40))
+        });
+        let random = probes.iter().map(|&bits| NybbleAddr::from_bits(bits));
+        for addr in clustered.chain(random) {
+            prop_assert_eq!(
+                table.lookup(addr).map(|e| e.asn),
+                naive_lpm(&effective, addr),
+                "lookup mismatch for {}", addr
+            );
+        }
+    }
+
+    #[test]
+    fn random_prefixes_roundtrip_lookup(route in arb_prefix(), asn in any::<u32>()) {
+        let mut table = PrefixTable::new();
+        table.insert(route, asn);
+        // The network address itself always matches its own prefix.
+        prop_assert_eq!(table.lookup(route.network()).map(|e| e.asn), Some(asn));
+    }
+
+    #[test]
+    fn grouping_partitions_input(
+        routes in prop::collection::vec((arb_clustered_prefix(), any::<u32>()), 1..20),
+        probes in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let table = PrefixTable::from_routes(routes);
+        let addrs: Vec<NybbleAddr> = probes
+            .iter()
+            .map(|&x| NybbleAddr::from_bits(
+                0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | x as u128 | ((x as u128 & 0xF) << 88),
+            ))
+            .collect();
+        let (grouped, unrouted) = table.group_by_prefix(addrs.iter().copied());
+        let total: usize = grouped.values().map(|v| v.len()).sum::<usize>() + unrouted.len();
+        prop_assert_eq!(total, addrs.len(), "grouping must partition the input");
+        for (prefix, members) in &grouped {
+            for m in members {
+                prop_assert!(prefix.contains(*m));
+                // And the prefix is the longest match.
+                prop_assert_eq!(table.routed_prefix(*m).unwrap(), *prefix);
+            }
+        }
+        for u in &unrouted {
+            prop_assert!(table.lookup(*u).is_none());
+        }
+    }
+}

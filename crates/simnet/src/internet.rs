@@ -1,0 +1,273 @@
+//! [`Internet`]: the assembled ground-truth model — networks, routing, and
+//! seed extraction.
+
+use crate::network::{HostKind, Network, NetworkSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sixgen_addr::{NybbleAddr, Prefix};
+use sixgen_routing::{AsRegistry, PrefixTable};
+use std::collections::HashMap;
+
+/// One seed address as extracted from a (simulated) DNS corpus: the address
+/// plus the record kind it came from, enabling host-type experiments
+/// (§6.7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRecord {
+    /// The seed address.
+    pub addr: NybbleAddr,
+    /// The service kind of the host the record points at.
+    pub kind: HostKind,
+}
+
+/// How seeds are extracted from the ground truth, modeling a DNS-derived
+/// corpus like the Rapid7 Forward DNS ANY dataset (§6.1).
+#[derive(Debug, Clone)]
+pub struct SeedExtraction {
+    /// Fraction of each network's *active* hosts that appear in the corpus
+    /// (DNS never sees every host).
+    pub visibility: f64,
+    /// Fraction of each network's *churned* hosts that (still) appear in
+    /// the corpus — stale records pointing at now-dead addresses (§6.6).
+    pub stale_visibility: f64,
+}
+
+impl Default for SeedExtraction {
+    fn default() -> Self {
+        SeedExtraction {
+            visibility: 0.5,
+            stale_visibility: 0.8,
+        }
+    }
+}
+
+/// The simulated IPv6 Internet: materialized networks plus the BGP view.
+///
+/// ```
+/// use sixgen_simnet::{HostScheme, Internet, NetworkSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let internet = Internet::build(
+///     vec![NetworkSpec::simple(
+///         "2001:db8::/32".parse().unwrap(),
+///         64496,
+///         "Example",
+///         HostScheme::LowByteSequential,
+///         100,
+///     )],
+///     &mut rng,
+/// );
+/// assert!(internet.is_responsive("2001:db8::42".parse().unwrap(), 80));
+/// assert!(!internet.is_responsive("2001:db8::4242".parse().unwrap(), 80));
+/// ```
+#[derive(Debug)]
+pub struct Internet {
+    networks: Vec<Network>,
+    table: PrefixTable,
+    registry: AsRegistry,
+    /// Routed prefix → index into `networks`.
+    by_prefix: HashMap<Prefix, usize>,
+}
+
+impl Internet {
+    /// Materializes all specs into ground truth and builds the routing
+    /// view. Deterministic for a given RNG state.
+    ///
+    /// # Panics
+    /// Panics if two specs announce the same prefix.
+    pub fn build(specs: Vec<NetworkSpec>, rng: &mut StdRng) -> Internet {
+        let mut table = PrefixTable::new();
+        let mut registry = AsRegistry::new();
+        let mut by_prefix = HashMap::new();
+        let mut networks = Vec::with_capacity(specs.len());
+        for spec in specs {
+            assert!(
+                table.insert(spec.prefix, spec.asn).is_none(),
+                "duplicate routed prefix {}",
+                spec.prefix
+            );
+            registry.register(spec.asn, spec.name.clone());
+            by_prefix.insert(spec.prefix, networks.len());
+            networks.push(Network::materialize(spec, rng));
+        }
+        Internet {
+            networks,
+            table,
+            registry,
+            by_prefix,
+        }
+    }
+
+    /// The network owning `addr`, by longest-prefix match.
+    pub fn network_of(&self, addr: NybbleAddr) -> Option<&Network> {
+        let prefix = self.table.routed_prefix(addr)?;
+        self.by_prefix.get(&prefix).map(|&i| &self.networks[i])
+    }
+
+    /// Ground truth: does `addr` respond on `port`?
+    pub fn is_responsive(&self, addr: NybbleAddr, port: u16) -> bool {
+        self.network_of(addr)
+            .is_some_and(|n| n.is_responsive(addr, port))
+    }
+
+    /// All materialized networks.
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// The BGP prefix table.
+    pub fn table(&self) -> &PrefixTable {
+        &self.table
+    }
+
+    /// AS metadata.
+    pub fn registry(&self) -> &AsRegistry {
+        &self.registry
+    }
+
+    /// Total number of active hosts across all networks (aliased regions
+    /// excluded — they are unbounded).
+    pub fn active_host_count(&self) -> usize {
+        self.networks.iter().map(|n| n.active_count()).sum()
+    }
+
+    /// Extracts a seed corpus: a deterministic sample of active (and stale)
+    /// host addresses with their record kinds, across every network.
+    pub fn extract_seeds(&self, extraction: &SeedExtraction, rng: &mut StdRng) -> Vec<SeedRecord> {
+        let mut seeds = Vec::new();
+        for network in &self.networks {
+            // Iterate in sorted order for determinism (HashMap order is
+            // randomized between runs).
+            let mut active: Vec<(&NybbleAddr, &HostKind)> = network.active().iter().collect();
+            active.sort_by_key(|(a, _)| **a);
+            for (addr, kind) in active {
+                if rng.gen_bool(extraction.visibility) {
+                    seeds.push(SeedRecord {
+                        addr: *addr,
+                        kind: *kind,
+                    });
+                }
+            }
+            let mut churned: Vec<(&NybbleAddr, &HostKind)> = network.churned().iter().collect();
+            churned.sort_by_key(|(a, _)| **a);
+            for (addr, kind) in churned {
+                if rng.gen_bool(extraction.stale_visibility) {
+                    seeds.push(SeedRecord {
+                        addr: *addr,
+                        kind: *kind,
+                    });
+                }
+            }
+        }
+        seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{HostPopulation, SubnetPlan};
+    use crate::scheme::HostScheme;
+    use rand::SeedableRng;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn build() -> Internet {
+        let mut rng = StdRng::seed_from_u64(11);
+        Internet::build(
+            vec![
+                NetworkSpec::simple(
+                    p("2001:db8::/32"),
+                    64496,
+                    "Alpha",
+                    HostScheme::LowByteSequential,
+                    20,
+                ),
+                NetworkSpec {
+                    prefix: p("2620:100::/40"),
+                    asn: 64497,
+                    name: "Beta".into(),
+                    populations: vec![HostPopulation {
+                        scheme: HostScheme::Wordy,
+                        subnets: SubnetPlan::Single(3),
+                        count: 10,
+                        churned: 4,
+                        kind: HostKind::NameServer,
+                    }],
+                    aliased: Vec::new(),
+                    ports: vec![80, 53],
+                },
+            ],
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn responsiveness_respects_routing() {
+        let net = build();
+        assert!(net.is_responsive("2001:db8::5".parse().unwrap(), 80));
+        assert!(!net.is_responsive("2001:db9::5".parse().unwrap(), 80), "unrouted");
+        assert_eq!(net.active_host_count(), 30);
+    }
+
+    #[test]
+    fn network_of_uses_lpm() {
+        let net = build();
+        assert_eq!(net.network_of("2001:db8::1".parse().unwrap()).unwrap().spec().asn, 64496);
+        assert_eq!(net.network_of("2620:100::1".parse().unwrap()).unwrap().spec().asn, 64497);
+        assert!(net.network_of("fe80::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn seed_extraction_is_deterministic_and_tagged() {
+        let net = build();
+        let extraction = SeedExtraction {
+            visibility: 1.0,
+            stale_visibility: 1.0,
+        };
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let s1 = net.extract_seeds(&extraction, &mut r1);
+        let s2 = net.extract_seeds(&extraction, &mut r2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 34, "20 active + 10 active + 4 stale");
+        let ns = s1.iter().filter(|s| s.kind == HostKind::NameServer).count();
+        assert_eq!(ns, 14);
+    }
+
+    #[test]
+    fn seed_extraction_visibility_subsamples() {
+        let net = build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let all = net.extract_seeds(
+            &SeedExtraction { visibility: 1.0, stale_visibility: 0.0 },
+            &mut rng,
+        );
+        assert_eq!(all.len(), 30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let half = net.extract_seeds(
+            &SeedExtraction { visibility: 0.5, stale_visibility: 0.0 },
+            &mut rng,
+        );
+        assert!(half.len() < 30 && !half.is_empty());
+        // Seeds point at actual (current or former) hosts.
+        for s in &half {
+            assert!(net.network_of(s.addr).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate routed prefix")]
+    fn duplicate_prefix_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        Internet::build(
+            vec![
+                NetworkSpec::simple(p("2001:db8::/32"), 1, "A", HostScheme::LowByteSequential, 1),
+                NetworkSpec::simple(p("2001:db8::/32"), 2, "B", HostScheme::LowByteSequential, 1),
+            ],
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # sixgen-simnet — a simulated IPv6 Internet and scanner
+//!
+//! The paper evaluates 6Gen by actively scanning the real IPv6 Internet on
+//! TCP/80 with a ZMap extension (§6). A reproduction cannot (and should
+//! not) probe the Internet, so this crate supplies the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * [`HostScheme`] — address-assignment practices from RFC 7707 and §3.2
+//!   of the paper (low-byte, EUI-64/SLAAC, privacy-random, embedded text,
+//!   embedded IPv4/port, structured subnets). Ground-truth host
+//!   populations are generated from these schemes, so the *structure* a
+//!   TGA must discover matches what operators deploy.
+//! * [`NetworkSpec`] / [`Network`] — a routed prefix with an origin AS,
+//!   host populations, optional *aliased regions* (prefixes in which every
+//!   address responds, §6.2), and *churned* hosts (addresses that were
+//!   once active — and appear in seed data — but no longer respond, §6.6).
+//! * [`Internet`] — a collection of networks with its BGP
+//!   [`PrefixTable`](sixgen_routing::PrefixTable) and
+//!   [`AsRegistry`](sixgen_routing::AsRegistry); answers "is this address
+//!   responsive on this port?"
+//! * [`Prober`] — a budget- and packet-counting scanner with optional
+//!   probabilistic packet loss (fault injection in the smoltcp example
+//!   tradition) and a probe-rate model for simulated scan durations.
+//! * [`dealias`] — the paper's §6.2 alias detection: probe three random
+//!   addresses per /96 (three probes each); if all three respond the
+//!   prefix is classified aliased.
+//!
+//! Everything is deterministic given an RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dealias;
+mod internet;
+mod network;
+mod prober;
+mod scheme;
+
+pub use internet::{Internet, SeedExtraction, SeedRecord};
+pub use network::{AliasedRegion, HostKind, HostPopulation, Network, NetworkSpec, SubnetPlan};
+pub use prober::{ProbeConfig, Prober, ProbeStats, ScanResult};
+pub use scheme::HostScheme;

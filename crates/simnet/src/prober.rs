@@ -1,0 +1,301 @@
+//! [`Prober`]: a ZMap-like scanner over the simulated Internet.
+//!
+//! The paper probed generated targets with TCP/80 SYNs at 100 K packets per
+//! second (§6). The prober reproduces the observable behaviour of that
+//! pipeline: per-probe hit/miss answers from ground truth, packet and
+//! response accounting, optional probabilistic packet loss with retries
+//! (fault injection, in the tradition of the smoltcp examples'
+//! `--drop-chance`), randomized probe order, and a simulated scan duration
+//! derived from the configured packet rate.
+
+use crate::internet::Internet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sixgen_addr::NybbleAddr;
+use std::time::Duration;
+
+/// Prober configuration.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Probability that any single probe (or its response) is lost in
+    /// transit. `0.0` disables fault injection.
+    pub loss: f64,
+    /// Additional attempts after a lost probe (a responsive host is
+    /// reported unresponsive only if all `1 + retries` probes are lost).
+    pub retries: u8,
+    /// Modeled transmit rate in packets per second (the paper used
+    /// 100 Kpps); drives [`Prober::simulated_duration`].
+    pub rate_pps: u64,
+    /// RNG seed for loss draws and probe-order shuffling.
+    pub rng_seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            loss: 0.0,
+            retries: 0,
+            rate_pps: 100_000,
+            rng_seed: 0x5CA7,
+        }
+    }
+}
+
+/// Cumulative packet accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Probe packets transmitted (including retries).
+    pub packets_sent: u64,
+    /// Responses received.
+    pub responses: u64,
+}
+
+/// Result of scanning a target list on one port.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Responsive target addresses, deduplicated, in the (shuffled) probe
+    /// order.
+    pub hits: Vec<NybbleAddr>,
+    /// Number of distinct targets probed.
+    pub targets: u64,
+    /// Probe packets this scan transmitted.
+    pub probes: u64,
+}
+
+impl ScanResult {
+    /// Hit rate: responsive targets ÷ probed targets.
+    pub fn hit_rate(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.hits.len() as f64 / self.targets as f64
+        }
+    }
+}
+
+/// A scanner bound to a simulated Internet.
+#[derive(Debug)]
+pub struct Prober<'a> {
+    internet: &'a Internet,
+    config: ProbeConfig,
+    rng: StdRng,
+    stats: ProbeStats,
+}
+
+impl<'a> Prober<'a> {
+    /// Creates a prober with the given fault/rate model.
+    pub fn new(internet: &'a Internet, config: ProbeConfig) -> Prober<'a> {
+        let rng = StdRng::seed_from_u64(config.rng_seed);
+        Prober {
+            internet,
+            config,
+            rng,
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// Probes one address once (plus configured retries). Returns whether a
+    /// response was received.
+    pub fn probe(&mut self, addr: NybbleAddr, port: u16) -> bool {
+        self.probe_attempts(addr, port, 1 + self.config.retries as u32)
+    }
+
+    /// Probes one address with an explicit attempt count (the §6.2 alias
+    /// test sends exactly three SYNs per address regardless of the scan's
+    /// retry setting).
+    pub fn probe_attempts(&mut self, addr: NybbleAddr, port: u16, attempts: u32) -> bool {
+        let responsive = self.internet.is_responsive(addr, port);
+        for _ in 0..attempts.max(1) {
+            self.stats.packets_sent += 1;
+            if responsive && (self.config.loss == 0.0 || !self.rng.gen_bool(self.config.loss)) {
+                self.stats.responses += 1;
+                return true;
+            }
+            if !responsive {
+                // An unresponsive address never answers; remaining retries
+                // are still transmitted by a real scanner.
+                continue;
+            }
+        }
+        false
+    }
+
+    /// Scans a target list on `port`: deduplicates, randomizes probe order
+    /// ("We randomized the order of the destination hosts", §6), probes
+    /// each target once (plus retries), and returns the hits.
+    pub fn scan(&mut self, targets: impl IntoIterator<Item = NybbleAddr>, port: u16) -> ScanResult {
+        let mut list: Vec<NybbleAddr> = targets.into_iter().collect();
+        list.sort_unstable();
+        list.dedup();
+        list.shuffle(&mut self.rng);
+        let before = self.stats.packets_sent;
+        let mut hits = Vec::new();
+        for addr in &list {
+            if self.probe(*addr, port) {
+                hits.push(*addr);
+            }
+        }
+        ScanResult {
+            targets: list.len() as u64,
+            probes: self.stats.packets_sent - before,
+            hits,
+        }
+    }
+
+    /// Cumulative packet statistics.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// The wall-clock time a real scanner would have needed to transmit
+    /// every packet sent so far, at the configured rate.
+    pub fn simulated_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.stats.packets_sent as f64 / self.config.rate_pps as f64)
+    }
+
+    /// The underlying ground-truth model.
+    pub fn internet(&self) -> &'a Internet {
+        self.internet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkSpec;
+    use crate::scheme::HostScheme;
+
+    fn internet() -> Internet {
+        let mut rng = StdRng::seed_from_u64(2);
+        Internet::build(
+            vec![NetworkSpec::simple(
+                "2001:db8::/32".parse().unwrap(),
+                64496,
+                "Example",
+                HostScheme::LowByteSequential,
+                50,
+            )],
+            &mut rng,
+        )
+    }
+
+    fn a(s: &str) -> NybbleAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn probe_counts_packets() {
+        let net = internet();
+        let mut p = Prober::new(&net, ProbeConfig::default());
+        assert!(p.probe(a("2001:db8::1"), 80));
+        assert!(!p.probe(a("2001:db8::1234"), 80));
+        assert_eq!(p.stats(), ProbeStats { packets_sent: 2, responses: 1 });
+    }
+
+    #[test]
+    fn scan_finds_exactly_the_active_hosts() {
+        let net = internet();
+        let mut p = Prober::new(&net, ProbeConfig::default());
+        let targets: Vec<NybbleAddr> = (0..100u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let result = p.scan(targets, 80);
+        assert_eq!(result.hits.len(), 50, "hosts ::1..=::32 respond");
+        assert_eq!(result.targets, 100);
+        assert_eq!(result.probes, 100);
+        assert!((result.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_deduplicates_targets() {
+        let net = internet();
+        let mut p = Prober::new(&net, ProbeConfig::default());
+        let result = p.scan(vec![a("2001:db8::1"), a("2001:db8::1")], 80);
+        assert_eq!(result.targets, 1);
+        assert_eq!(result.probes, 1);
+        assert_eq!(result.hits, vec![a("2001:db8::1")]);
+    }
+
+    #[test]
+    fn loss_with_retries_recovers_hosts() {
+        let net = internet();
+        // 50% loss, no retries: roughly half the hits are missed.
+        let mut lossy = Prober::new(
+            &net,
+            ProbeConfig {
+                loss: 0.5,
+                retries: 0,
+                ..ProbeConfig::default()
+            },
+        );
+        let targets: Vec<NybbleAddr> = (1..=50u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let r = lossy.scan(targets.clone(), 80);
+        assert!(r.hits.len() < 45, "lost some: {}", r.hits.len());
+        // 50% loss but 7 retries: virtually every host answers.
+        let mut retried = Prober::new(
+            &net,
+            ProbeConfig {
+                loss: 0.5,
+                retries: 7,
+                ..ProbeConfig::default()
+            },
+        );
+        let r = retried.scan(targets, 80);
+        assert_eq!(r.hits.len(), 50);
+        // Retries cost packets: more than one per target on average.
+        assert!(r.probes > 50);
+    }
+
+    #[test]
+    fn lossless_probe_sends_single_packet_even_with_retries() {
+        let net = internet();
+        let mut p = Prober::new(
+            &net,
+            ProbeConfig {
+                retries: 3,
+                ..ProbeConfig::default()
+            },
+        );
+        assert!(p.probe(a("2001:db8::1"), 80));
+        assert_eq!(p.stats().packets_sent, 1, "responsive host answers first probe");
+        // Unresponsive host consumes all attempts.
+        assert!(!p.probe(a("2001:db8::999"), 80));
+        assert_eq!(p.stats().packets_sent, 1 + 4);
+    }
+
+    #[test]
+    fn simulated_duration_follows_rate() {
+        let net = internet();
+        let mut p = Prober::new(
+            &net,
+            ProbeConfig {
+                rate_pps: 10,
+                ..ProbeConfig::default()
+            },
+        );
+        for i in 0..20u32 {
+            p.probe(
+                NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128),
+                80,
+            );
+        }
+        assert_eq!(p.simulated_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn scans_are_deterministic() {
+        let net = internet();
+        let targets: Vec<NybbleAddr> = (0..60u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let r1 = Prober::new(&net, ProbeConfig { loss: 0.3, ..Default::default() })
+            .scan(targets.clone(), 80);
+        let r2 = Prober::new(&net, ProbeConfig { loss: 0.3, ..Default::default() })
+            .scan(targets, 80);
+        assert_eq!(r1.hits, r2.hits);
+        assert_eq!(r1.probes, r2.probes);
+    }
+}

@@ -1,0 +1,223 @@
+//! Address-assignment schemes: how operators pick interface identifiers.
+//!
+//! RFC 7707 (cited as the paper's §3.2 background) catalogs real-world IPv6
+//! assignment practices: low-byte addresses, embedded human-readable hex
+//! text (`DEADBEEF`), embedded IPv4 addresses or service ports, SLAAC
+//! EUI-64 identifiers derived from MAC addresses, and fully random privacy
+//! addresses. Ground-truth hosts in the simulated Internet are generated
+//! from these schemes so that target generation algorithms face the same
+//! structure classes they would on the real Internet.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Hex "words" used by operators for memorable addresses (RFC 7707 §4.1.2).
+const HEX_WORDS: [u16; 8] = [
+    0xdead, 0xbeef, 0xcafe, 0xbabe, 0xface, 0xf00d, 0xc0de, 0xd00d,
+];
+
+/// A policy for generating the interface-identifier (low 64 bits) of host
+/// addresses.
+///
+/// [`HostScheme::iid`] maps a host index to an identifier; schemes that
+/// model random assignment also draw from the supplied RNG (determinism
+/// comes from seeding the RNG).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostScheme {
+    /// Sequentially assigned low-byte addresses: `::1`, `::2`, … — the
+    /// single most common practice for servers and routers (RFC 7707
+    /// §4.1.1; §3.2 of the paper: 80% of routers had non-zero values only
+    /// in the low 16 bits of the IID).
+    LowByteSequential,
+    /// Random values confined to the low `nybbles` nybbles, modeling
+    /// operators who assign small but non-sequential host numbers.
+    LowByteRandom {
+        /// Number of low nybbles that vary (1..=16).
+        nybbles: u8,
+    },
+    /// SLAAC EUI-64 identifiers: `oui | ff:fe | NIC`, with the
+    /// universal/local bit inverted per RFC 4291. Host `index` becomes the
+    /// 24-bit NIC-specific part, modeling one vendor's contiguous MAC
+    /// block.
+    Eui64 {
+        /// The 24-bit Organizationally Unique Identifier of the modeled
+        /// NIC vendor.
+        oui: [u8; 3],
+    },
+    /// RFC 4941 privacy addresses: uniformly random 64-bit identifiers.
+    /// Essentially undiscoverable by any TGA — included to model the
+    /// unpredictable population (e.g. the paper's CDN 1, where both
+    /// algorithms find almost nothing).
+    PrivacyRandom,
+    /// Human-memorable hex words (`dead:beef::…`) with a sequential
+    /// suffix.
+    Wordy,
+    /// The host's IPv4 address embedded in the IID as four hex groups
+    /// (`::192:168:1:42` style). `base` is the first host's IPv4 address;
+    /// `index` increments the final octet (wrapping into the third).
+    Ipv4Embedded {
+        /// IPv4 address of host index 0.
+        base: [u8; 4],
+    },
+    /// A service port embedded in the low 16 bits (`2001:db8::…:80`),
+    /// with the host index above it.
+    PortEmbedded {
+        /// The embedded service port, stored verbatim in the low 16 bits.
+        port: u16,
+    },
+}
+
+impl HostScheme {
+    /// Generates the interface identifier for host `index`.
+    pub fn iid(&self, index: u64, rng: &mut StdRng) -> u64 {
+        match self {
+            HostScheme::LowByteSequential => index + 1,
+            HostScheme::LowByteRandom { nybbles } => {
+                let n = (*nybbles).clamp(1, 16) as u32;
+                if n == 16 {
+                    rng.gen::<u64>()
+                } else {
+                    rng.gen_range(0..1u64 << (4 * n))
+                }
+            }
+            HostScheme::Eui64 { oui } => {
+                // Invert the universal/local bit of the first OUI octet.
+                let flipped = (oui[0] ^ 0x02) as u64;
+                let nic = index & 0xFF_FFFF;
+                (flipped << 56)
+                    | ((oui[1] as u64) << 48)
+                    | ((oui[2] as u64) << 40)
+                    | (0xFFFEu64 << 24)
+                    | nic
+            }
+            HostScheme::PrivacyRandom => rng.gen::<u64>(),
+            HostScheme::Wordy => {
+                let w1 = HEX_WORDS[(index / 256 % 8) as usize] as u64;
+                let w2 = HEX_WORDS[(index / 2048 % 8) as usize] as u64;
+                (w1 << 48) | (w2 << 32) | (index % 256 + 1)
+            }
+            HostScheme::Ipv4Embedded { base } => {
+                let v4 = u32::from_be_bytes(*base) as u64 + index;
+                let (a, b, c, d) = (
+                    (v4 >> 24) & 0xFF,
+                    (v4 >> 16) & 0xFF,
+                    (v4 >> 8) & 0xFF,
+                    v4 & 0xFF,
+                );
+                (a << 48) | (b << 32) | (c << 16) | d
+            }
+            HostScheme::PortEmbedded { port } => ((index + 1) << 16) | *port as u64,
+        }
+    }
+
+    /// `true` if the scheme produces identifiers with no learnable
+    /// structure (a TGA is not expected to predict them).
+    pub fn is_unpredictable(&self) -> bool {
+        matches!(
+            self,
+            HostScheme::PrivacyRandom | HostScheme::LowByteRandom { nybbles: 15.. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn low_byte_sequential() {
+        let s = HostScheme::LowByteSequential;
+        assert_eq!(s.iid(0, &mut rng()), 1);
+        assert_eq!(s.iid(41, &mut rng()), 42);
+    }
+
+    #[test]
+    fn low_byte_random_is_bounded() {
+        let s = HostScheme::LowByteRandom { nybbles: 2 };
+        let mut r = rng();
+        for i in 0..100 {
+            assert!(s.iid(i, &mut r) < 256);
+        }
+        let wide = HostScheme::LowByteRandom { nybbles: 16 };
+        // Full width must not panic and should exceed 32 bits eventually.
+        let mut r = rng();
+        assert!((0..20).any(|i| wide.iid(i, &mut r) > u32::MAX as u64));
+    }
+
+    #[test]
+    fn eui64_layout() {
+        let s = HostScheme::Eui64 {
+            oui: [0x00, 0x1b, 0x21],
+        };
+        let iid = s.iid(0x123456, &mut rng());
+        // 02:1b:21 ff:fe 12:34:56
+        assert_eq!(iid, 0x021b_21ff_fe12_3456);
+        // Universal/local bit flipped: 0x00 -> 0x02.
+        assert_eq!(iid >> 56, 0x02);
+        // ff:fe marker in the middle.
+        assert_eq!((iid >> 24) & 0xFFFF, 0xFFFE);
+    }
+
+    #[test]
+    fn eui64_nic_wraps_at_24_bits() {
+        let s = HostScheme::Eui64 {
+            oui: [0x00, 0x1b, 0x21],
+        };
+        assert_eq!(
+            s.iid(0x1_000_001, &mut rng()) & 0xFF_FFFF,
+            0x000_001,
+            "NIC part is 24 bits"
+        );
+    }
+
+    #[test]
+    fn wordy_uses_hex_words() {
+        let s = HostScheme::Wordy;
+        let iid = s.iid(0, &mut rng());
+        assert_eq!(iid >> 48, 0xdead);
+        assert_eq!((iid >> 32) & 0xFFFF, 0xdead);
+        assert_eq!(iid & 0xFFFF_FFFF, 1);
+        // Index 256 rolls to the next word in the high slot.
+        assert_eq!(s.iid(256, &mut rng()) >> 48, 0xbeef);
+    }
+
+    #[test]
+    fn ipv4_embedded_groups() {
+        let s = HostScheme::Ipv4Embedded {
+            base: [192, 168, 1, 10],
+        };
+        let iid = s.iid(0, &mut rng());
+        // ::192:168:1:10 → groups 00c0:00a8:0001:000a.
+        assert_eq!(iid, 0x00c0_00a8_0001_000a);
+        // Index 250 carries into the third octet: 192.168.2.4.
+        let iid = s.iid(250, &mut rng());
+        assert_eq!(iid, 0x00c0_00a8_0002_0004);
+    }
+
+    #[test]
+    fn port_embedded() {
+        let s = HostScheme::PortEmbedded { port: 80 };
+        assert_eq!(s.iid(0, &mut rng()), 0x1_0050);
+        assert_eq!(s.iid(0, &mut rng()) & 0xFFFF, 80);
+        assert_eq!(s.iid(9, &mut rng()) >> 16, 10);
+    }
+
+    #[test]
+    fn privacy_random_varies_and_is_deterministic_per_rng() {
+        let s = HostScheme::PrivacyRandom;
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let a: Vec<u64> = (0..5).map(|i| s.iid(i, &mut r1)).collect();
+        let b: Vec<u64> = (0..5).map(|i| s.iid(i, &mut r2)).collect();
+        assert_eq!(a, b, "same RNG seed, same identifiers");
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), 5);
+        assert!(s.is_unpredictable());
+        assert!(!HostScheme::LowByteSequential.is_unpredictable());
+    }
+}

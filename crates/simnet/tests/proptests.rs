@@ -1,0 +1,195 @@
+//! Property tests for the simulated-Internet substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sixgen_addr::{NybbleAddr, Prefix};
+use sixgen_simnet::dealias::{detect_aliased, DealiasConfig};
+use sixgen_simnet::{
+    AliasedRegion, HostKind, HostPopulation, HostScheme, Internet, NetworkSpec, ProbeConfig,
+    Prober, SeedExtraction, SubnetPlan,
+};
+
+fn arb_scheme() -> impl Strategy<Value = HostScheme> {
+    prop_oneof![
+        Just(HostScheme::LowByteSequential),
+        (1u8..8).prop_map(|n| HostScheme::LowByteRandom { nybbles: n }),
+        any::<[u8; 3]>().prop_map(|oui| HostScheme::Eui64 { oui }),
+        Just(HostScheme::PrivacyRandom),
+        Just(HostScheme::Wordy),
+        any::<[u8; 4]>().prop_map(|base| HostScheme::Ipv4Embedded { base }),
+        (1u16..10000).prop_map(|port| HostScheme::PortEmbedded { port }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = SubnetPlan> {
+    prop_oneof![
+        (0u64..1000).prop_map(SubnetPlan::Single),
+        (1u64..50).prop_map(|count| SubnetPlan::Sequential { count }),
+        (1u64..20).prop_map(|count| SubnetPlan::RandomSparse { count }),
+        ((1u64..20), (1u64..0x10000)).prop_map(|(count, stride)| SubnetPlan::Strided {
+            count,
+            stride
+        }),
+    ]
+}
+
+fn build(
+    scheme: HostScheme,
+    plan: SubnetPlan,
+    count: usize,
+    churned: usize,
+    world_seed: u64,
+) -> Internet {
+    let mut rng = StdRng::seed_from_u64(world_seed);
+    Internet::build(
+        vec![NetworkSpec {
+            prefix: "2001:db8::/32".parse().unwrap(),
+            asn: 64496,
+            name: "Prop".into(),
+            populations: vec![HostPopulation {
+                scheme,
+                subnets: plan,
+                count,
+                churned,
+                kind: HostKind::Web,
+            }],
+            aliased: vec![],
+            ports: vec![80],
+        }],
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hosts_stay_inside_their_network(
+        scheme in arb_scheme(),
+        plan in arb_plan(),
+        count in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let internet = build(scheme, plan, count, 0, seed);
+        let prefix: Prefix = "2001:db8::/32".parse().unwrap();
+        let network = &internet.networks()[0];
+        prop_assert!(network.active_count() <= count, "duplicate collapse only shrinks");
+        for addr in network.active().keys() {
+            prop_assert!(prefix.contains(*addr), "{addr} escaped");
+            prop_assert!(internet.is_responsive(*addr, 80));
+            prop_assert!(!internet.is_responsive(*addr, 443), "wrong port");
+        }
+    }
+
+    #[test]
+    fn churned_hosts_never_respond(
+        scheme in arb_scheme(),
+        count in 1usize..30,
+        churned in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let internet = build(scheme, SubnetPlan::Single(0), count, churned, seed);
+        let network = &internet.networks()[0];
+        for addr in network.churned().keys() {
+            prop_assert!(!internet.is_responsive(*addr, 80));
+        }
+    }
+
+    #[test]
+    fn extraction_is_a_subset_of_ground_truth(
+        scheme in arb_scheme(),
+        plan in arb_plan(),
+        count in 1usize..60,
+        visibility in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let internet = build(scheme, plan, count, 5, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let records = internet.extract_seeds(
+            &SeedExtraction { visibility, stale_visibility: 1.0 },
+            &mut rng,
+        );
+        let network = &internet.networks()[0];
+        for record in &records {
+            prop_assert!(
+                network.active().contains_key(&record.addr)
+                    || network.churned().contains_key(&record.addr)
+            );
+        }
+        // Full visibility captures everything.
+        if visibility == 1.0 {
+            prop_assert_eq!(
+                records.len(),
+                network.active_count() + network.churned().len()
+            );
+        }
+    }
+
+    #[test]
+    fn prober_accounting_matches_scan_results(
+        scheme in arb_scheme(),
+        count in 1usize..40,
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let internet = build(scheme, SubnetPlan::Single(0), count, 0, seed);
+        let mut prober = Prober::new(
+            &internet,
+            ProbeConfig { loss, retries: 2, rng_seed: seed, ..ProbeConfig::default() },
+        );
+        let network = &internet.networks()[0];
+        let mut targets: Vec<NybbleAddr> = network.active().keys().copied().collect();
+        targets.push("2001:db8::dead:ffff".parse().unwrap());
+        let n_targets = {
+            let mut t = targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            t.len() as u64
+        };
+        let result = prober.scan(targets, 80);
+        prop_assert_eq!(result.targets, n_targets);
+        prop_assert!(result.hits.len() as u64 <= result.targets);
+        prop_assert!(result.probes >= result.targets, "at least one probe each");
+        prop_assert!(result.probes <= result.targets * 3, "retries bounded");
+        // Every reported hit is truly responsive.
+        for hit in &result.hits {
+            prop_assert!(internet.is_responsive(*hit, 80));
+        }
+    }
+
+    #[test]
+    fn alias_detector_never_flags_honest_networks(
+        scheme in arb_scheme(),
+        count in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let internet = build(scheme, SubnetPlan::Single(0), count, 0, seed);
+        let network = &internet.networks()[0];
+        let hits: Vec<NybbleAddr> = network.active().keys().copied().collect();
+        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let report = detect_aliased(&mut prober, &hits, 80, &DealiasConfig::default());
+        prop_assert!(report.aliased.is_empty(), "false alias positives: {:?}", report.aliased);
+    }
+
+    #[test]
+    fn alias_detector_always_flags_planted_regions(region_subnet in 0u16..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let region: Prefix = format!("2600:aaaa:{region_subnet:x}::/64").parse().unwrap();
+        let internet = Internet::build(
+            vec![NetworkSpec {
+                prefix: "2600:aaaa::/32".parse().unwrap(),
+                asn: 1,
+                name: "Cdn".into(),
+                populations: vec![],
+                aliased: vec![AliasedRegion { prefix: region, ports: vec![80] }],
+                ports: vec![80],
+            }],
+            &mut rng,
+        );
+        let hit = NybbleAddr::from_bits(region.network().bits() | 0x1234);
+        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let report = detect_aliased(&mut prober, &[hit], 80, &DealiasConfig::default());
+        prop_assert!(report.is_aliased(hit));
+    }
+}

@@ -1,0 +1,132 @@
+//! Alias detection walkthrough (§6.2): scan a CDN-heavy corner of the
+//! simulated Internet, then detect and filter fully-responsive regions at
+//! /96 granularity — and show why /112-granularity aliasing needs the
+//! per-AS refinement.
+//!
+//! ```sh
+//! cargo run --release --example alias_hunter
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sixgen::addr::Prefix;
+use sixgen::core::{Config, SixGen};
+use sixgen::report::percent;
+use sixgen::simnet::dealias::{detect_aliased, DealiasConfig};
+use sixgen::simnet::{
+    AliasedRegion, HostKind, HostPopulation, HostScheme, Internet, NetworkSpec, ProbeConfig,
+    Prober, SeedExtraction, SubnetPlan,
+};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let internet = Internet::build(
+        vec![
+            // An honest hosting network.
+            NetworkSpec::simple(
+                "2001:db8::/32".parse().unwrap(),
+                64496,
+                "HonestHosting",
+                HostScheme::LowByteSequential,
+                400,
+            ),
+            // A CDN with an aliased /48.
+            NetworkSpec {
+                prefix: "2600:aa00::/32".parse().unwrap(),
+                asn: 20940,
+                name: "BigCdn".into(),
+                populations: vec![HostPopulation {
+                    scheme: HostScheme::LowByteRandom { nybbles: 4 },
+                    subnets: SubnetPlan::Single(7),
+                    count: 300,
+                    churned: 0,
+                    kind: HostKind::Web,
+                }],
+                aliased: vec![AliasedRegion {
+                    prefix: "2600:aa00::/48".parse().unwrap(),
+                    ports: vec![80],
+                }],
+                ports: vec![80],
+            },
+            // A provider aliased only at /112 granularity — invisible to
+            // the /96 test.
+            NetworkSpec {
+                prefix: "2606:4700::/32".parse().unwrap(),
+                asn: 13335,
+                name: "Sneaky112".into(),
+                populations: vec![HostPopulation {
+                    scheme: HostScheme::LowByteRandom { nybbles: 3 },
+                    subnets: SubnetPlan::Single(0),
+                    count: 300,
+                    churned: 0,
+                    kind: HostKind::Web,
+                }],
+                aliased: vec![AliasedRegion {
+                    prefix: "2606:4700::/112".parse().unwrap(),
+                    ports: vec![80],
+                }],
+                ports: vec![80],
+            },
+        ],
+        &mut rng,
+    );
+
+    // Seed → generate → scan.
+    let seeds = internet.extract_seeds(
+        &SeedExtraction {
+            visibility: 0.6,
+            stale_visibility: 0.0,
+        },
+        &mut rng,
+    );
+    let (grouped, _) = internet.table().group_by_prefix(seeds.iter().map(|r| r.addr));
+    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut hits = Vec::new();
+    for (_, prefix_seeds) in grouped {
+        let outcome = SixGen::new(prefix_seeds, Config::with_budget(30_000)).run();
+        hits.extend(prober.scan(outcome.targets.iter(), 80).hits);
+    }
+    println!("raw hits: {}", hits.len());
+
+    // Pass 1: the paper's /96 detector.
+    let report96 = detect_aliased(&mut prober, &hits, 80, &DealiasConfig::default());
+    let (clean, aliased) = report96.split(hits.iter());
+    println!(
+        "/96 pass: {} of {} hit-bearing /96s aliased → {} hits filtered ({}), {} kept",
+        report96.aliased.len(),
+        report96.tested,
+        aliased.len(),
+        percent(aliased.len() as u64, hits.len() as u64),
+        clean.len()
+    );
+
+    // The /112 aliaser slipped through: all its hits survive the /96 pass.
+    let sneaky: Prefix = "2606:4700::/32".parse().unwrap();
+    let survivors = clean.iter().filter(|h| sneaky.contains(**h)).count();
+    println!("Sneaky112 hits surviving the /96 pass: {survivors} (all of them)");
+
+    // Pass 2: per-AS /112 refinement on the survivors.
+    let sneaky_hits: Vec<_> = clean.iter().copied().filter(|h| sneaky.contains(*h)).collect();
+    let report112 = detect_aliased(
+        &mut prober,
+        &sneaky_hits,
+        80,
+        &DealiasConfig {
+            prefix_len: 112,
+            ..DealiasConfig::default()
+        },
+    );
+    println!(
+        "/112 pass over that AS: {} of {} /112s aliased → exclude the AS",
+        report112.aliased.len(),
+        report112.tested
+    );
+    let final_clean: Vec<_> = clean
+        .iter()
+        .filter(|h| !sneaky.contains(**h))
+        .collect();
+    println!(
+        "final dealiased hits: {} (honest hosting survives; both alias styles filtered)",
+        final_clean.len()
+    );
+}

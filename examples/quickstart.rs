@@ -1,0 +1,45 @@
+//! Quickstart: feed 6Gen a handful of known addresses and print the scan
+//! targets it generates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sixgen::core::{Config, SixGen};
+
+fn main() {
+    // Seeds: addresses you already know (e.g. from DNS AAAA records).
+    // Note the structure — low-byte hosts in two /64 subnets.
+    let seeds: Vec<sixgen::addr::NybbleAddr> = [
+        "2001:db8:0:1::10",
+        "2001:db8:0:1::11",
+        "2001:db8:0:1::15",
+        "2001:db8:0:2::21",
+        "2001:db8:0:2::25",
+        "2001:db8:0:2::2a",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid IPv6"))
+    .collect();
+
+    // A probe budget of 600 addresses.
+    let outcome = SixGen::new(seeds, Config::with_budget(600)).run();
+
+    println!("6Gen generated {} targets", outcome.targets.len());
+    println!("stopped because: {:?}", outcome.stats.termination);
+    println!("\nclusters:");
+    for cluster in &outcome.clusters {
+        println!(
+            "  {:<24} {} seeds in {} addresses (density {:.3})",
+            cluster.range.to_string(),
+            cluster.seed_count,
+            cluster.range_size,
+            cluster.seed_count as f64 / cluster.range_size as f64,
+        );
+    }
+
+    println!("\nfirst 16 targets:");
+    for target in outcome.targets.iter().take(16) {
+        println!("  {target}");
+    }
+}

@@ -1,0 +1,217 @@
+//! `sixgen` — command-line target generation for IPv6 scanning.
+//!
+//! ```text
+//! sixgen generate --seeds <file> [--budget N] [--mode loose|tight] [--out <file>] [--binary]
+//! sixgen analyze  --seeds <file>
+//! sixgen split    --seeds <file> --groups K --out-prefix <path>
+//! sixgen entropy-ip --seeds <file> [--budget N] [--out <file>]
+//! ```
+//!
+//! * `generate` — run 6Gen over a seed hitlist (one address per line, `#`
+//!   comments allowed) and write the generated targets.
+//! * `analyze` — print the per-nybble entropy profile and the final 6Gen
+//!   clusters for a seed set: a quick look at a network's address
+//!   structure.
+//! * `split` — split a hitlist into K random groups (train/test
+//!   experiments).
+//! * `entropy-ip` — generate targets with the Entropy/IP baseline instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sixgen::addr::NybbleAddr;
+use sixgen::core::{ClusterMode, Config, SixGen};
+use sixgen::datasets::io::{read_hitlist_file, write_hitlist_binary_file, write_hitlist_file};
+use sixgen::datasets::split_groups;
+use sixgen::entropy_ip::{entropy_profile, EntropyIpConfig, EntropyIpModel};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    seeds: Option<PathBuf>,
+    budget: u64,
+    mode: ClusterMode,
+    out: Option<PathBuf>,
+    binary: bool,
+    groups: usize,
+    out_prefix: Option<PathBuf>,
+    rng_seed: u64,
+}
+
+fn parse(args: &[String]) -> Option<Cli> {
+    let mut cli = Cli {
+        seeds: None,
+        budget: 1_000_000,
+        mode: ClusterMode::Loose,
+        out: None,
+        binary: false,
+        groups: 10,
+        out_prefix: None,
+        rng_seed: 0x6CE4,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => cli.seeds = Some(PathBuf::from(it.next()?)),
+            "--budget" => cli.budget = it.next()?.parse().ok()?,
+            "--mode" => {
+                cli.mode = match it.next()?.as_str() {
+                    "loose" => ClusterMode::Loose,
+                    "tight" => ClusterMode::Tight,
+                    _ => return None,
+                }
+            }
+            "--out" => cli.out = Some(PathBuf::from(it.next()?)),
+            "--binary" => cli.binary = true,
+            "--groups" => cli.groups = it.next()?.parse().ok()?,
+            "--out-prefix" => cli.out_prefix = Some(PathBuf::from(it.next()?)),
+            "--rng-seed" => cli.rng_seed = it.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(cli)
+}
+
+fn load_seeds(cli: &Cli) -> Result<Vec<NybbleAddr>, String> {
+    let path = cli.seeds.as_ref().ok_or("--seeds is required")?;
+    let seeds =
+        read_hitlist_file(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if seeds.is_empty() {
+        return Err(format!("{}: no addresses", path.display()));
+    }
+    Ok(seeds)
+}
+
+fn write_targets(cli: &Cli, targets: &[NybbleAddr]) -> Result<(), String> {
+    match (&cli.out, cli.binary) {
+        (Some(path), true) => write_hitlist_binary_file(path, targets)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        (Some(path), false) => write_hitlist_file(path, targets)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        (None, _) => {
+            let mut stdout = std::io::stdout().lock();
+            sixgen::datasets::io::write_hitlist(&mut stdout, targets)
+                .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(cli: &Cli) -> Result<(), String> {
+    let seeds = load_seeds(cli)?;
+    let outcome = SixGen::new(
+        seeds,
+        Config {
+            budget: cli.budget,
+            mode: cli.mode,
+            threads: 0,
+            rng_seed: cli.rng_seed,
+        },
+    )
+    .run();
+    eprintln!(
+        "6Gen: {} targets from {} seeds ({} clusters, stopped: {:?})",
+        outcome.targets.len(),
+        outcome.stats.seed_count,
+        outcome.clusters.len(),
+        outcome.stats.termination,
+    );
+    write_targets(cli, outcome.targets.as_slice())
+}
+
+fn cmd_analyze(cli: &Cli) -> Result<(), String> {
+    let seeds = load_seeds(cli)?;
+    println!("seeds: {}", seeds.len());
+    println!("\nper-nybble entropy (0 = fixed, 1 = uniform):");
+    let profile = entropy_profile(&seeds);
+    for (i, h) in profile.iter().enumerate() {
+        let bar = "#".repeat((h * 32.0).round() as usize);
+        println!("  nybble {:>2}: {:>5.3} {}", i + 1, h, bar);
+    }
+    let outcome = SixGen::new(
+        seeds,
+        Config {
+            budget: cli.budget,
+            rng_seed: cli.rng_seed,
+            threads: 0,
+            ..Config::default()
+        },
+    )
+    .run();
+    println!("\n6Gen clusters (budget {}):", cli.budget);
+    let mut clusters = outcome.clusters;
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.seed_count));
+    for c in clusters.iter().take(24) {
+        println!(
+            "  {:<40} {:>7} seeds / {:>12} addrs",
+            c.range.to_string(),
+            c.seed_count,
+            c.range_size
+        );
+    }
+    if clusters.len() > 24 {
+        println!("  ... and {} more clusters", clusters.len() - 24);
+    }
+    Ok(())
+}
+
+fn cmd_split(cli: &Cli) -> Result<(), String> {
+    let seeds = load_seeds(cli)?;
+    let prefix = cli.out_prefix.as_ref().ok_or("--out-prefix is required")?;
+    if cli.groups == 0 {
+        return Err("--groups must be positive".into());
+    }
+    let mut rng = StdRng::seed_from_u64(cli.rng_seed);
+    let groups = split_groups(&seeds, cli.groups, &mut rng);
+    for (i, group) in groups.iter().enumerate() {
+        let path = PathBuf::from(format!("{}.{i}.txt", prefix.display()));
+        write_hitlist_file(&path, group)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {} ({} addresses)", path.display(), group.len());
+    }
+    Ok(())
+}
+
+fn cmd_entropy_ip(cli: &Cli) -> Result<(), String> {
+    let seeds = load_seeds(cli)?;
+    let model = EntropyIpModel::fit(&seeds, &EntropyIpConfig::default());
+    eprintln!(
+        "Entropy/IP: {} segments, generating up to {} targets",
+        model.segments().len(),
+        cli.budget
+    );
+    let mut rng = StdRng::seed_from_u64(cli.rng_seed);
+    let targets = model.generate(cli.budget as usize, &mut rng);
+    eprintln!("generated {} distinct targets", targets.len());
+    write_targets(cli, &targets)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(cli) = parse(rest) else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&cli),
+        "analyze" => cmd_analyze(&cli),
+        "split" => cmd_split(&cli),
+        "entropy-ip" => cmd_entropy_ip(&cli),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the `sixgen` command-line binary, driven through
+//! the real executable (`CARGO_BIN_EXE_sixgen`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sixgen"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sixgen-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_seeds(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("seeds.txt");
+    let mut text = String::from("# test seeds\n\n");
+    for i in 1..=40u32 {
+        text.push_str(&format!("2001:db8::{:x}\n", i));
+    }
+    for i in 1..=10u32 {
+        text.push_str(&format!("2001:db8:0:5::{:x}\n", i * 3));
+    }
+    std::fs::write(&path, text).expect("write seeds");
+    path
+}
+
+#[test]
+fn generate_writes_targets_within_budget() {
+    let dir = workdir("generate");
+    let seeds = write_seeds(&dir);
+    let out = dir.join("targets.txt");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "200", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let targets = std::fs::read_to_string(&out).expect("read targets");
+    let lines: Vec<&str> = targets.lines().collect();
+    assert!(!lines.is_empty() && lines.len() <= 200, "{} targets", lines.len());
+    // Every line parses as an address; seeds are covered.
+    for line in &lines {
+        line.parse::<sixgen::addr::NybbleAddr>().expect("valid address");
+    }
+    assert!(lines.contains(&"2001:db8::1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_binary_roundtrips() {
+    let dir = workdir("binary");
+    let seeds = write_seeds(&dir);
+    let out = dir.join("targets.bin");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "100", "--binary", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let targets = sixgen::datasets::io::read_hitlist_binary_file(&out).expect("decode");
+    assert!(!targets.is_empty() && targets.len() <= 100);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_is_deterministic_across_invocations() {
+    let dir = workdir("deterministic");
+    let seeds = write_seeds(&dir);
+    let run = |out: &std::path::Path| {
+        let status = bin()
+            .args(["generate", "--seeds"])
+            .arg(&seeds)
+            .args(["--budget", "150", "--rng-seed", "42", "--out"])
+            .arg(out)
+            .status()
+            .expect("run sixgen");
+        assert!(status.success());
+        std::fs::read_to_string(out).expect("read")
+    };
+    let a = run(&dir.join("a.txt"));
+    let b = run(&dir.join("b.txt"));
+    assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_prints_entropy_and_clusters() {
+    let dir = workdir("analyze");
+    let seeds = write_seeds(&dir);
+    let output = bin()
+        .args(["analyze", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "500"])
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("per-nybble entropy"), "{stdout}");
+    assert!(stdout.contains("6Gen clusters"), "{stdout}");
+    assert!(stdout.contains("nybble 32"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn split_partitions_hitlist() {
+    let dir = workdir("split");
+    let seeds = write_seeds(&dir);
+    let prefix = dir.join("part");
+    let status = bin()
+        .args(["split", "--seeds"])
+        .arg(&seeds)
+        .args(["--groups", "5", "--out-prefix"])
+        .arg(&prefix)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let mut total = 0;
+    for i in 0..5 {
+        let part = PathBuf::from(format!("{}.{i}.txt", prefix.display()));
+        let addrs = sixgen::datasets::io::read_hitlist_file(&part).expect("read part");
+        assert_eq!(addrs.len(), 10);
+        total += addrs.len();
+    }
+    assert_eq!(total, 50);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn entropy_ip_subcommand_generates() {
+    let dir = workdir("eip");
+    let seeds = write_seeds(&dir);
+    let out = dir.join("eip.txt");
+    let status = bin()
+        .args(["entropy-ip", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let targets = sixgen::datasets::io::read_hitlist_file(&out).expect("read");
+    assert!(!targets.is_empty() && targets.len() <= 300);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let status = bin().status().expect("run sixgen");
+    assert_eq!(status.code(), Some(2));
+    let status = bin().args(["generate"]).status().expect("run");
+    assert_eq!(status.code(), Some(1), "--seeds missing is an error");
+    let status = bin()
+        .args(["generate", "--seeds", "/definitely/missing/file.txt"])
+        .status()
+        .expect("run");
+    assert_eq!(status.code(), Some(1));
+    let status = bin().args(["frobnicate"]).status().expect("run");
+    assert_eq!(status.code(), Some(2));
+}

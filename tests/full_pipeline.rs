@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the complete §6 pipeline at small scale,
+//! asserting the paper's qualitative results hold end-to-end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sixgen::core::{Config, SixGen, Termination};
+use sixgen::datasets::world::{build_world, WorldConfig};
+use sixgen::report::percent;
+use sixgen::simnet::dealias::{dealias_hits, DealiasConfig};
+use sixgen::simnet::{ProbeConfig, Prober, SeedExtraction};
+use std::collections::HashSet;
+
+fn world() -> sixgen::simnet::Internet {
+    build_world(&WorldConfig {
+        scale: 0.08,
+        rng_seed: 77,
+    })
+}
+
+/// The full pipeline: seeds → 6Gen per prefix → scan → dealias.
+#[test]
+fn pipeline_discovers_new_hosts_and_filters_aliases() {
+    let internet = world();
+    let mut rng = StdRng::seed_from_u64(1);
+    let seeds = internet.extract_seeds(&SeedExtraction::default(), &mut rng);
+    let seed_set: HashSet<_> = seeds.iter().map(|r| r.addr).collect();
+    let (grouped, unrouted) = internet.table().group_by_prefix(seed_set.iter().copied());
+    assert!(unrouted.is_empty());
+
+    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut hits = Vec::new();
+    for (_, prefix_seeds) in grouped {
+        if prefix_seeds.len() < 2 {
+            continue;
+        }
+        let outcome = SixGen::new(prefix_seeds, Config::with_budget(4_000)).run();
+        hits.extend(prober.scan(outcome.targets.iter(), 80).hits);
+    }
+    assert!(!hits.is_empty());
+
+    let (report, clean, aliased) =
+        dealias_hits(&mut prober, &hits, 80, &DealiasConfig::default());
+    // Aliasing dominates raw hits (98% in the paper; the simulated world
+    // reproduces the dominance, not the exact figure).
+    assert!(
+        aliased.len() > 2 * clean.len(),
+        "aliased {} vs clean {}",
+        aliased.len(),
+        clean.len()
+    );
+    assert!(report.tested > 0);
+
+    // 6Gen discovers hosts that were NOT seeds (new discoveries, §6.6).
+    let new_discoveries = clean.iter().filter(|h| !seed_set.contains(h)).count();
+    assert!(
+        new_discoveries > 50,
+        "only {new_discoveries} new non-aliased discoveries ({})",
+        percent(new_discoveries as u64, clean.len() as u64)
+    );
+
+    // Every non-aliased hit is genuinely responsive ground truth.
+    for hit in &clean {
+        assert!(internet.is_responsive(*hit, 80));
+    }
+}
+
+/// 6Gen outperforms brute-force guessing by orders of magnitude on a
+/// structured network (the paper's core premise).
+#[test]
+fn sixgen_beats_random_guessing() {
+    let internet = world();
+    let mut rng = StdRng::seed_from_u64(2);
+    let seeds = internet.extract_seeds(
+        &SeedExtraction {
+            visibility: 0.5,
+            stale_visibility: 0.0,
+        },
+        &mut rng,
+    );
+    // Pick the Linode-like prefix (structured, honest).
+    let prefix: sixgen::addr::Prefix = "2600:3c00::/32".parse().unwrap();
+    let prefix_seeds: Vec<_> = seeds
+        .iter()
+        .map(|r| r.addr)
+        .filter(|a| prefix.contains(*a))
+        .collect();
+    assert!(prefix_seeds.len() > 20);
+
+    let budget = 5_000u64;
+    let outcome = SixGen::new(prefix_seeds.clone(), Config::with_budget(budget)).run();
+    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let sixgen_hits = prober.scan(outcome.targets.iter(), 80).hits.len();
+
+    let random = sixgen::baselines::random_prefix_targets(prefix, budget as usize, &mut rng);
+    let random_hits = prober.scan(random, 80).hits.len();
+    assert!(
+        sixgen_hits > 50 && sixgen_hits > random_hits * 10,
+        "6Gen {sixgen_hits} vs random {random_hits}"
+    );
+}
+
+/// Hits rediscover active seeds but exclude churned ones.
+#[test]
+fn churned_seeds_do_not_respond() {
+    let internet = world();
+    let mut rng = StdRng::seed_from_u64(3);
+    let seeds = internet.extract_seeds(
+        &SeedExtraction {
+            visibility: 0.0,
+            stale_visibility: 1.0,
+        },
+        &mut rng,
+    );
+    assert!(!seeds.is_empty());
+    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let scan = prober.scan(seeds.iter().map(|r| r.addr), 80);
+    // Churned addresses in honest networks never respond; only those that
+    // happen to sit inside aliased regions can.
+    for hit in &scan.hits {
+        let net = internet.network_of(*hit).expect("routed");
+        assert!(
+            net.aliased_regions().iter().any(|r| r.prefix.contains(*hit)),
+            "churned seed {hit} responded outside an aliased region"
+        );
+    }
+}
+
+/// Budget semantics across the whole stack: unique targets, exact
+/// consumption, determinism.
+#[test]
+fn budget_contract_holds_at_scale() {
+    let internet = world();
+    let mut rng = StdRng::seed_from_u64(4);
+    let seeds: Vec<_> = internet
+        .extract_seeds(&SeedExtraction::default(), &mut rng)
+        .into_iter()
+        .map(|r| r.addr)
+        .collect();
+    let (grouped, _) = internet.table().group_by_prefix(seeds);
+    for (prefix, prefix_seeds) in grouped {
+        if prefix_seeds.len() < 2 {
+            continue;
+        }
+        let budget = 1_000;
+        let outcome = SixGen::new(prefix_seeds.clone(), Config::with_budget(budget)).run();
+        assert!(outcome.targets.len() as u64 <= budget, "{prefix}");
+        if outcome.stats.termination == Termination::BudgetExhausted {
+            assert_eq!(outcome.targets.len() as u64, budget, "{prefix}");
+        }
+        let uniq: HashSet<_> = outcome.targets.iter().collect();
+        assert_eq!(uniq.len(), outcome.targets.len(), "{prefix}");
+        // Deterministic rerun.
+        let again = SixGen::new(prefix_seeds, Config::with_budget(budget)).run();
+        assert_eq!(outcome.targets.as_slice(), again.targets.as_slice(), "{prefix}");
+    }
+}
