@@ -59,7 +59,7 @@ pub fn dense_prefix_targets(
     budget: usize,
     rng: &mut StdRng,
 ) -> Vec<NybbleAddr> {
-    assert!(len <= 128 && len % 4 == 0, "aggregate length must be nybble-aligned");
+    assert!(len <= 128 && len.is_multiple_of(4), "aggregate length must be nybble-aligned");
     if budget == 0 || seeds.is_empty() {
         return Vec::new();
     }

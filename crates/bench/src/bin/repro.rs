@@ -20,6 +20,7 @@
 //!   adaptive  §8 scanner-integration extension
 //!   budgetpolicy  §8 budget-allocation ablation
 //!   eipranked  §7.1 budget-aware Entropy/IP ablation
+//!   faults    hit rate vs fault severity, fixed vs adaptive retries
 //!   all       everything above
 //!
 //! OPTIONS
@@ -31,15 +32,15 @@
 //! ```
 
 use sixgen_bench::experiments::{
-    self, adaptive_loop, budget_policy, cdn_compare, dealias_survey, eip_ranked, fig2_runtime, fig4_budget, fig5_clusters,
-    fig6_nybbles, fig7_hits, host_type, table1_ases, table2_downsampling, tight_vs_loose,
+    self, adaptive_loop, budget_policy, cdn_compare, dealias_survey, eip_ranked, fault_severity, fig2_runtime, fig4_budget,
+    fig5_clusters, fig6_nybbles, fig7_hits, host_type, table1_ases, table2_downsampling, tight_vs_loose,
     ExperimentOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|all>..."
+         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|all>..."
     );
     std::process::exit(2);
 }
@@ -106,6 +107,7 @@ fn main() {
             "adaptive" => adaptive_loop::run(&opts),
             "budgetpolicy" => budget_policy::run(&opts),
             "eipranked" => eip_ranked::run(&opts),
+            "faults" => fault_severity::run(&opts),
             "all" => run_all(&opts),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -132,5 +134,6 @@ fn run_all(opts: &ExperimentOptions) {
     adaptive_loop::run(opts);
     budget_policy::run(opts);
     eip_ranked::run(opts);
+    fault_severity::run(opts);
     cdn_compare::run(opts);
 }

@@ -36,7 +36,7 @@ pub fn run(opts: &ExperimentOptions) {
     prefixes.sort();
 
     // ---- Offline: generate, scan, dealias (the §6 pipeline). -----------
-    let mut offline_prober = Prober::new(&internet, ProbeConfig::default());
+    let mut offline_prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let mut offline_hits = Vec::new();
     for &prefix in &prefixes {
         let outcome = SixGen::new(
@@ -60,7 +60,7 @@ pub fn run(opts: &ExperimentOptions) {
     let offline_probes = offline_prober.stats().packets_sent;
 
     // ---- Adaptive: same per-prefix probe budget. ------------------------
-    let mut adaptive_prober = Prober::new(&internet, ProbeConfig::default());
+    let mut adaptive_prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let mut adaptive_clean: Vec<_> = Vec::new();
     let mut adaptive_probes = 0u64;
     let mut aliased_probe_waste = 0u64;

@@ -114,7 +114,7 @@ pub fn run(opts: &ExperimentOptions) {
     );
     for (policy_index, policy) in BudgetPolicy::ALL.iter().enumerate() {
         let shares = policy.divide(total_budget, &prefixes);
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let mut all_hits = Vec::new();
         let mut hits_per_prefix: Vec<(Prefix, Vec<_>)> = Vec::new();
         let mut generated = 0u64;

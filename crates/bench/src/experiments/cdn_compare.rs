@@ -212,7 +212,8 @@ pub fn run_active_scans(opts: &ExperimentOptions) {
                         rng_seed: 0x9A5 ^ budget,
                         ..ProbeConfig::default()
                     },
-                );
+                )
+                .expect("valid probe config");
                 let scan = prober.scan(targets, 80);
                 let report = detect_aliased(
                     &mut prober,

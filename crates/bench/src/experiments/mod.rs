@@ -7,6 +7,7 @@ pub mod budget_policy;
 pub mod cdn_compare;
 pub mod dealias_survey;
 pub mod eip_ranked;
+pub mod fault_severity;
 pub mod fig2_runtime;
 pub mod fig4_budget;
 pub mod fig5_clusters;

@@ -160,7 +160,8 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
             rng_seed: cfg.rng_seed ^ 0x5CA9,
             ..ProbeConfig::default()
         },
-    );
+    )
+    .expect("valid probe config");
 
     let mut results = Vec::with_capacity(prefixes.len());
     let mut all_hits: Vec<NybbleAddr> = Vec::new();
@@ -178,6 +179,7 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
                 mode: cfg.mode,
                 threads: cfg.threads,
                 rng_seed: cfg.rng_seed ^ prefix.network().bits() as u64,
+                ..Config::default()
             },
         )
         .run();

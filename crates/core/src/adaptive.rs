@@ -501,6 +501,16 @@ mod tests {
             .collect()
     }
 
+    /// `n` hosts deterministically spread across the sorted host list — a
+    /// stand-in for a random seed sample (iterating the `HashSet` directly
+    /// would vary per process).
+    fn spread_hosts(hosts: &Set<NybbleAddr>, n: usize) -> Vec<NybbleAddr> {
+        let mut sorted: Vec<NybbleAddr> = hosts.iter().copied().collect();
+        sorted.sort_unstable();
+        let step = (sorted.len() / n).max(1);
+        sorted.into_iter().step_by(step).take(n).collect()
+    }
+
     #[test]
     fn discovers_dense_region_and_counts_probes() {
         let hosts = dense_hosts("2001:db8::", 200); // ::1..::c8
@@ -509,7 +519,7 @@ mod tests {
             aliased: None,
             probes: 0,
         };
-        let seeds: Vec<NybbleAddr> = hosts.iter().copied().take(30).collect();
+        let seeds = spread_hosts(&hosts, 30);
         let outcome = adaptive_scan(
             seeds,
             &AdaptiveConfig {
@@ -600,7 +610,7 @@ mod tests {
         // complete in both modes, and the feedback run's tree must have
         // grown beyond the original seed count.
         let hosts = dense_hosts("2001:db8::", 768);
-        let seeds: Vec<NybbleAddr> = hosts.iter().copied().take(20).collect();
+        let seeds = spread_hosts(&hosts, 20);
         let run = |feedback: bool| {
             let mut toy = Toy {
                 hosts: hosts.clone(),

@@ -7,6 +7,7 @@ use crate::Config;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sixgen_addr::{NybbleAddr, NybbleTree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Cached best growth for one cluster.
@@ -65,18 +66,21 @@ impl SixGen {
     /// Executes the algorithm to termination and returns the outcome.
     pub fn run(self) -> Outcome {
         let started = Instant::now();
+        let deadline = self.config.time_limit.map(|limit| started + limit);
         let mut cpu_time = Duration::ZERO;
         let total_seeds = self.seeds.len() as u64;
         let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
         let mut budget = BudgetTracker::new(self.config.budget);
         let mut stats_growths: u64 = 0;
         let mut stats_subsumed: u64 = 0;
+        let mut stats_worker_panics: u64 = 0;
 
         let finish = |slots: Vec<Slot>,
                       budget: BudgetTracker,
                       termination: Termination,
                       growths: u64,
                       subsumed: u64,
+                      worker_panics: u64,
                       cpu_time: Duration,
                       started: Instant| {
             let clusters = slots
@@ -100,6 +104,7 @@ impl SixGen {
                     seed_count: total_seeds,
                     wall_time: started.elapsed(),
                     cpu_time,
+                    worker_panics,
                     termination,
                 },
             }
@@ -110,6 +115,7 @@ impl SixGen {
                 Vec::new(),
                 budget,
                 Termination::NoSeeds,
+                0,
                 0,
                 0,
                 cpu_time,
@@ -129,6 +135,7 @@ impl SixGen {
                     Termination::ExhaustedAtInit,
                     0,
                     0,
+                    0,
                     cpu_time,
                     started,
                 );
@@ -140,7 +147,25 @@ impl SixGen {
         }
 
         loop {
-            cpu_time += self.fill_caches(&mut slots);
+            cpu_time += self.fill_caches(&mut slots, &mut stats_worker_panics);
+
+            // Deadline check (once per iteration, after cache refresh): a
+            // run cut short here is still a valid partial result because
+            // every seed has been in some cluster since initialization.
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return finish(
+                        slots,
+                        budget,
+                        Termination::Deadline,
+                        stats_growths,
+                        stats_subsumed,
+                        stats_worker_panics,
+                        cpu_time,
+                        started,
+                    );
+                }
+            }
 
             // Select the globally best cached growth: maximum density, then
             // smallest range, then uniformly at random among exact ties
@@ -184,6 +209,7 @@ impl SixGen {
                     Termination::AllSeedsClustered,
                     stats_growths,
                     stats_subsumed,
+                    stats_worker_panics,
                     cpu_time,
                     started,
                 );
@@ -205,6 +231,7 @@ impl SixGen {
                     Termination::BudgetExhausted,
                     stats_growths,
                     stats_subsumed,
+                    stats_worker_panics,
                     cpu_time,
                     started,
                 );
@@ -218,6 +245,7 @@ impl SixGen {
                     Termination::AllSeedsClustered,
                     stats_growths,
                     stats_subsumed,
+                    stats_worker_panics,
                     cpu_time,
                     started,
                 );
@@ -250,8 +278,16 @@ impl SixGen {
     }
 
     /// Recomputes every stale cache, in parallel when configured and
-    /// worthwhile. Returns the aggregate busy time across workers.
-    fn fill_caches(&self, slots: &mut [Slot]) -> Duration {
+    /// worthwhile. Returns the aggregate busy time across workers and
+    /// counts recovered panics into `worker_panics`.
+    ///
+    /// Parallel growth evaluation is panic-free at the run level: each
+    /// cluster's evaluation runs under [`catch_unwind`], a panicking
+    /// cluster is retried serially on the coordinating thread, and a
+    /// cluster that panics again is written off as [`Cached::Exhausted`]
+    /// (it simply stops growing) so one poisoned cluster cannot abort the
+    /// whole run.
+    fn fill_caches(&self, slots: &mut [Slot], worker_panics: &mut u64) -> Duration {
         let stale: Vec<usize> = slots
             .iter()
             .enumerate()
@@ -270,7 +306,7 @@ impl SixGen {
         if threads <= 1 || stale.len() < 64 {
             let start = Instant::now();
             for &i in &stale {
-                slots[i].cached = self.compute_growth(&slots[i].cluster);
+                slots[i].cached = self.compute_growth(&slots[i].cluster, false);
             }
             return start.elapsed();
         }
@@ -283,38 +319,76 @@ impl SixGen {
             .iter()
             .map(|&i| (i, slots[i].cluster.clone()))
             .collect();
+        let chunks: Vec<&[(usize, Cluster)]> = clusters.chunks(chunk_size).collect();
         let mut results: Vec<(usize, Cached)> = Vec::with_capacity(stale.len());
+        let mut failed: Vec<usize> = Vec::new();
         let mut cpu = Duration::ZERO;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = clusters
-                .chunks(chunk_size)
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let start = Instant::now();
-                        let out: Vec<(usize, Cached)> = chunk
+                        let out: Vec<(usize, Option<Cached>)> = chunk
                             .iter()
-                            .map(|(i, cluster)| (*i, self.compute_growth(cluster)))
+                            .map(|(i, cluster)| {
+                                let cached =
+                                    catch_unwind(AssertUnwindSafe(|| {
+                                        self.compute_growth(cluster, true)
+                                    }))
+                                    .ok();
+                                (*i, cached)
+                            })
                             .collect();
                         (out, start.elapsed())
                     })
                 })
                 .collect();
-            for handle in handles {
-                let (out, elapsed) = handle.join().expect("growth worker panicked");
-                results.extend(out);
-                cpu += elapsed;
+            for (handle, chunk) in handles.into_iter().zip(&chunks) {
+                match handle.join() {
+                    Ok((out, elapsed)) => {
+                        cpu += elapsed;
+                        for (i, cached) in out {
+                            match cached {
+                                Some(cached) => results.push((i, cached)),
+                                None => failed.push(i),
+                            }
+                        }
+                    }
+                    // A panic escaped the per-cluster catch (worker
+                    // plumbing, not growth math): re-derive the whole
+                    // chunk serially below.
+                    Err(_) => failed.extend(chunk.iter().map(|(i, _)| *i)),
+                }
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         for (i, cached) in results {
             slots[i].cached = cached;
+        }
+
+        // Serial failover for clusters whose evaluation panicked. A second
+        // panic marks the cluster exhausted so the run proceeds without it.
+        for i in failed {
+            *worker_panics += 1;
+            let start = Instant::now();
+            slots[i].cached =
+                catch_unwind(AssertUnwindSafe(|| self.compute_growth(&slots[i].cluster, false)))
+                    .unwrap_or(Cached::Exhausted);
+            cpu += start.elapsed();
         }
         cpu
     }
 
     /// Computes one cluster's best growth with a deterministic per-cluster
     /// tie-break stream derived from the run seed and the cluster's range.
-    fn compute_growth(&self, cluster: &Cluster) -> Cached {
+    fn compute_growth(&self, cluster: &Cluster, parallel_worker: bool) -> Cached {
+        if let Some(injection) = &self.config.panic_injection {
+            if cluster.range.size() == injection.range_size
+                && (parallel_worker || !injection.parallel_only)
+            {
+                panic!("injected growth panic (test hook)");
+            }
+        }
         let mut state = splitmix64_seed(
             self.config.rng_seed,
             cluster.range.min_address().bits(),
@@ -619,6 +693,113 @@ mod tests {
         .run();
         assert_eq!(serial.targets.as_slice(), parallel.targets.as_slice());
         assert_eq!(serial.stats.growths, parallel.stats.growths);
+    }
+
+    #[test]
+    fn deadline_yields_valid_partial_outcome() {
+        // A zero time limit fires on the first loop iteration, long before
+        // the natural BudgetExhausted/AllSeedsClustered stop.
+        let seeds: Vec<NybbleAddr> = (0..50u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8 << 96 | (i as u128 * 7919)))
+            .collect();
+        let outcome = SixGen::new(
+            seeds.clone(),
+            Config {
+                budget: 100_000,
+                time_limit: Some(Duration::ZERO),
+                ..Config::default()
+            },
+        )
+        .run();
+        assert_eq!(outcome.stats.termination, Termination::Deadline);
+        // Partial but well-formed: every seed is emitted and covered by a
+        // cluster, and the budget is respected.
+        for &s in &seeds {
+            assert!(outcome.targets.contains(s), "seed {s} missing from targets");
+            assert!(
+                outcome.clusters.iter().any(|c| c.range.contains(s)),
+                "seed {s} not covered by any cluster"
+            );
+        }
+        assert!(outcome.targets.len() as u64 <= outcome.stats.budget);
+    }
+
+    #[test]
+    fn no_deadline_runs_to_completion() {
+        let seeds = addrs(&["2001:db8::1", "2001:db8::2"]);
+        let outcome = SixGen::new(
+            seeds,
+            Config {
+                time_limit: Some(Duration::from_secs(3600)),
+                ..Config::with_budget(100)
+            },
+        )
+        .run();
+        assert_eq!(outcome.stats.termination, Termination::AllSeedsClustered);
+    }
+
+    fn parallel_test_seeds() -> Vec<NybbleAddr> {
+        (0..70u32)
+            .map(|i| {
+                NybbleAddr::from_bits(
+                    0x2001_0db8 << 96 | ((i % 5) as u128) << 20 | ((i * 37 % 4096) as u128),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn injected_worker_panic_recovers_via_serial_failover() {
+        // parallel_only: every singleton's parallel evaluation panics, the
+        // serial retry succeeds, and the run result is byte-identical to an
+        // uninjected run.
+        let base = Config {
+            threads: 4,
+            budget: 2000,
+            ..Config::default()
+        };
+        let clean = SixGen::new(parallel_test_seeds(), base.clone()).run();
+        let injected = SixGen::new(
+            parallel_test_seeds(),
+            Config {
+                panic_injection: Some(crate::PanicInjection {
+                    range_size: 1,
+                    parallel_only: true,
+                }),
+                ..base
+            },
+        )
+        .run();
+        assert_eq!(clean.stats.worker_panics, 0);
+        assert!(injected.stats.worker_panics > 0);
+        assert_eq!(clean.targets.as_slice(), injected.targets.as_slice());
+        assert_eq!(clean.stats.growths, injected.stats.growths);
+        assert_eq!(clean.stats.termination, injected.stats.termination);
+    }
+
+    #[test]
+    fn unrecoverable_growth_panic_degrades_without_aborting() {
+        // The serial retry panics too: every singleton is written off as
+        // exhausted, so nothing can grow — but the run still completes with
+        // all seeds emitted instead of aborting.
+        let seeds = parallel_test_seeds();
+        let outcome = SixGen::new(
+            seeds.clone(),
+            Config {
+                threads: 4,
+                budget: 2000,
+                panic_injection: Some(crate::PanicInjection {
+                    range_size: 1,
+                    parallel_only: false,
+                }),
+                ..Config::default()
+            },
+        )
+        .run();
+        assert_eq!(outcome.stats.termination, Termination::AllSeedsClustered);
+        assert_eq!(outcome.stats.worker_panics, seeds.len() as u64);
+        assert_eq!(outcome.stats.growths, 0);
+        assert_eq!(outcome.targets.len(), seeds.len());
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! The §5.5 optimizations are implemented: per-cluster best-growth caching
 //! (valid because clusters grow independently), seed storage in a 16-ary
 //! [`NybbleTree`](sixgen_addr::NybbleTree) for range queries, and parallel
-//! growth evaluation across clusters (crossbeam scoped threads standing in
-//! for the paper's OpenMP).
+//! growth evaluation across clusters (`std::thread::scope` standing in for
+//! the paper's OpenMP). Growth-worker panics are caught and recovered per
+//! cluster rather than aborting the run, and [`Config::time_limit`] turns
+//! the engine into a deadline-aware anytime algorithm that emits a
+//! well-formed partial [`Outcome`].
 //!
 //! ```
 //! use sixgen_core::{Config, SixGen};
@@ -84,6 +87,31 @@ pub struct Config {
     /// RNG seed for tie-breaking and final-growth sampling; runs are fully
     /// deterministic given the same seeds, config, and this value.
     pub rng_seed: u64,
+    /// Optional wall-clock deadline for the run. When the limit elapses
+    /// before another stopping rule fires, the run stops with
+    /// [`Termination::Deadline`] and a well-formed partial [`Outcome`]:
+    /// every seed is covered by a cluster (they are from initialization
+    /// onward) and all targets generated so far are emitted. `None` (the
+    /// default) runs to completion.
+    pub time_limit: Option<std::time::Duration>,
+    /// Test hook: deterministic growth-worker panic injection. Not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub panic_injection: Option<PanicInjection>,
+}
+
+/// Test hook describing when growth evaluation should deliberately panic,
+/// used to exercise the engine's panic recovery path. Not part of the
+/// stable API.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Panic when evaluating a cluster whose range has exactly this size.
+    pub range_size: u128,
+    /// If `true`, panic only inside parallel growth workers, so the serial
+    /// failover retry succeeds. If `false`, the retry panics too and the
+    /// cluster is written off as exhausted.
+    pub parallel_only: bool,
 }
 
 impl Default for Config {
@@ -93,6 +121,8 @@ impl Default for Config {
             mode: ClusterMode::Loose,
             threads: 1,
             rng_seed: 0x6CE4,
+            time_limit: None,
+            panic_injection: None,
         }
     }
 }

@@ -32,6 +32,7 @@ fn arb_config() -> impl Strategy<Value = Config> {
         },
         threads: 1,
         rng_seed,
+        ..Config::default()
     })
 }
 

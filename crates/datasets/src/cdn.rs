@@ -167,7 +167,7 @@ impl Cdn {
 /// Materializes one CDN as a standalone simulated Internet.
 pub fn cdn_internet(cdn: Cdn, host_count: usize, rng_seed: u64) -> Internet {
     let mut rng = StdRng::seed_from_u64(rng_seed);
-    Internet::build(vec![cdn.spec(host_count)], &mut rng)
+    Internet::build(vec![cdn.spec(host_count)], &mut rng).expect("unique prefixes")
 }
 
 /// Draws the §7 dataset: a uniform random sample of `n` active addresses

@@ -401,7 +401,7 @@ pub fn world_specs(config: &WorldConfig) -> Vec<NetworkSpec> {
 /// Materializes the default world.
 pub fn build_world(config: &WorldConfig) -> Internet {
     let mut rng = StdRng::seed_from_u64(config.rng_seed);
-    Internet::build(world_specs(config), &mut rng)
+    Internet::build(world_specs(config), &mut rng).expect("unique prefixes")
 }
 
 #[cfg(test)]

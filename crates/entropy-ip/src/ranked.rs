@@ -99,7 +99,7 @@ impl EntropyIpModel {
                 // patterns" behaviour the paper suggests.
                 let share = ((budget as f64) * node.score.exp()).ceil() as usize;
                 let share = share.clamp(1, budget - out.len());
-                self.decode_assignment(&node, &order, share, &mut seen, &mut out, rng);
+                self.decode_assignment(&node, order, share, &mut seen, &mut out, rng);
                 // Leftover probability mass: requeue the assignment at a
                 // decayed score so it can emit more once higher-probability
                 // patterns have been served.
@@ -156,7 +156,7 @@ impl EntropyIpModel {
         for (segment, &atom) in segments.iter().zip(&atom_of_segment) {
             support = support.saturating_mul(segment.atom_cardinality(atom) as u128);
         }
-        let want = share.min(support.min(1 << 20) as u128 as usize);
+        let want = share.min(support.min(1 << 20) as usize);
         let goal = out.len() + want;
         if support <= want as u128 * 4 {
             // Small support: enumerate exhaustively (odometer over
@@ -289,14 +289,18 @@ mod tests {
         let truth: std::collections::HashSet<_> = seeds.iter().copied().collect();
         let model = EntropyIpModel::fit(&seeds, &EntropyIpConfig::default());
         let budget = 20;
-        let ranked = model.generate_ranked(budget, &mut rng());
-        let sampled = model.generate(budget, &mut rng());
         let hit = |targets: &[NybbleAddr]| targets.iter().filter(|t| truth.contains(t)).count();
+        let ranked = model.generate_ranked(budget, &mut rng());
+        // Random sampling is noisy at a tight budget: one draw can get
+        // lucky, so compare against the mean over several streams.
+        let sampled_avg = (0..5)
+            .map(|k| hit(&model.generate(budget, &mut StdRng::seed_from_u64(5 + k))) as f64)
+            .sum::<f64>()
+            / 5.0;
         assert!(
-            hit(&ranked) >= hit(&sampled),
-            "ranked {} vs sampled {}",
+            hit(&ranked) as f64 >= sampled_avg,
+            "ranked {} vs sampled mean {sampled_avg}",
             hit(&ranked),
-            hit(&sampled)
         );
         assert!(hit(&ranked) >= budget / 2, "ranked found only {}", hit(&ranked));
     }

@@ -177,12 +177,13 @@ mod tests {
             ],
             &mut rng,
         )
+        .expect("unique prefixes")
     }
 
     #[test]
     fn detects_planted_aliased_region() {
         let net = internet();
-        let mut prober = Prober::new(&net, ProbeConfig::default());
+        let mut prober = Prober::new(&net, ProbeConfig::default()).expect("valid probe config");
         let hits = vec![
             a("2001:db8::1"),
             a("2001:db8::2"),
@@ -206,7 +207,7 @@ mod tests {
         // Even 100 real hosts in one /96: the probability that a random
         // /96 address hits one is ~100/2^32 — the detector must not flag.
         let net = internet();
-        let mut prober = Prober::new(&net, ProbeConfig::default());
+        let mut prober = Prober::new(&net, ProbeConfig::default()).expect("valid probe config");
         let hits: Vec<NybbleAddr> = (1..=100u32)
             .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
             .collect();
@@ -218,7 +219,7 @@ mod tests {
     #[test]
     fn finer_granularity_at_112() {
         let net = internet();
-        let mut prober = Prober::new(&net, ProbeConfig::default());
+        let mut prober = Prober::new(&net, ProbeConfig::default()).expect("valid probe config");
         let hits = vec![a("2600:aaaa:1::1"), a("2001:db8::1")];
         let cfg = DealiasConfig {
             prefix_len: 112,
@@ -233,7 +234,7 @@ mod tests {
     #[test]
     fn empty_hits_tests_nothing() {
         let net = internet();
-        let mut prober = Prober::new(&net, ProbeConfig::default());
+        let mut prober = Prober::new(&net, ProbeConfig::default()).expect("valid probe config");
         let report = detect_aliased(&mut prober, &[], 80, &DealiasConfig::default());
         assert_eq!(report.tested, 0);
         assert_eq!(report.probes, 0);
@@ -243,7 +244,7 @@ mod tests {
     #[test]
     fn probe_accounting() {
         let net = internet();
-        let mut prober = Prober::new(&net, ProbeConfig::default());
+        let mut prober = Prober::new(&net, ProbeConfig::default()).expect("valid probe config");
         let hits = vec![a("2600:aaaa:1::1")];
         let report = detect_aliased(&mut prober, &hits, 80, &DealiasConfig::default());
         // Aliased prefix: 3 addresses, each answers on the first probe.
@@ -267,7 +268,8 @@ mod tests {
                 loss: 0.3,
                 ..ProbeConfig::default()
             },
-        );
+        )
+        .expect("valid probe config");
         let hits = vec![a("2600:aaaa:1::1")];
         let report = detect_aliased(&mut prober, &hits, 80, &DealiasConfig::default());
         assert!(report.is_aliased(a("2600:aaaa:1::1")));

@@ -7,6 +7,26 @@ use rand::Rng;
 use sixgen_addr::{NybbleAddr, Prefix};
 use sixgen_routing::{AsRegistry, PrefixTable};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why an [`Internet`] could not be assembled from its specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two specs announced the same routed prefix.
+    DuplicatePrefix(Prefix),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicatePrefix(prefix) => {
+                write!(f, "duplicate routed prefix {prefix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// One seed address as extracted from a (simulated) DNS corpus: the address
 /// plus the record kind it came from, enabling host-type experiments
@@ -56,7 +76,8 @@ impl Default for SeedExtraction {
 ///         100,
 ///     )],
 ///     &mut rng,
-/// );
+/// )
+/// .expect("unique prefixes");
 /// assert!(internet.is_responsive("2001:db8::42".parse().unwrap(), 80));
 /// assert!(!internet.is_responsive("2001:db8::4242".parse().unwrap(), 80));
 /// ```
@@ -71,31 +92,27 @@ pub struct Internet {
 
 impl Internet {
     /// Materializes all specs into ground truth and builds the routing
-    /// view. Deterministic for a given RNG state.
-    ///
-    /// # Panics
-    /// Panics if two specs announce the same prefix.
-    pub fn build(specs: Vec<NetworkSpec>, rng: &mut StdRng) -> Internet {
+    /// view. Deterministic for a given RNG state. Two specs announcing the
+    /// same prefix is a [`BuildError`] (it used to be a panic).
+    pub fn build(specs: Vec<NetworkSpec>, rng: &mut StdRng) -> Result<Internet, BuildError> {
         let mut table = PrefixTable::new();
         let mut registry = AsRegistry::new();
         let mut by_prefix = HashMap::new();
         let mut networks = Vec::with_capacity(specs.len());
         for spec in specs {
-            assert!(
-                table.insert(spec.prefix, spec.asn).is_none(),
-                "duplicate routed prefix {}",
-                spec.prefix
-            );
+            if table.insert(spec.prefix, spec.asn).is_some() {
+                return Err(BuildError::DuplicatePrefix(spec.prefix));
+            }
             registry.register(spec.asn, spec.name.clone());
             by_prefix.insert(spec.prefix, networks.len());
             networks.push(Network::materialize(spec, rng));
         }
-        Internet {
+        Ok(Internet {
             networks,
             table,
             registry,
             by_prefix,
-        }
+        })
     }
 
     /// The network owning `addr`, by longest-prefix match.
@@ -202,6 +219,7 @@ mod tests {
             ],
             &mut rng,
         )
+        .expect("unique prefixes")
     }
 
     #[test]
@@ -259,15 +277,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate routed prefix")]
     fn duplicate_prefix_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
-        Internet::build(
+        let err = Internet::build(
             vec![
                 NetworkSpec::simple(p("2001:db8::/32"), 1, "A", HostScheme::LowByteSequential, 1),
                 NetworkSpec::simple(p("2001:db8::/32"), 2, "B", HostScheme::LowByteSequential, 1),
             ],
             &mut rng,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildError::DuplicatePrefix(p("2001:db8::/32")));
+        assert_eq!(err.to_string(), "duplicate routed prefix 2001:db8::/32");
     }
 }

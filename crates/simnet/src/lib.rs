@@ -18,9 +18,14 @@
 //!   [`PrefixTable`](sixgen_routing::PrefixTable) and
 //!   [`AsRegistry`](sixgen_routing::AsRegistry); answers "is this address
 //!   responsive on this port?"
-//! * [`Prober`] — a budget- and packet-counting scanner with optional
-//!   probabilistic packet loss (fault injection in the smoltcp example
-//!   tradition) and a probe-rate model for simulated scan durations.
+//! * [`faults`] — composable fault models ([`FaultModel`]): uniform loss,
+//!   Gilbert–Elliott bursty loss, per-prefix ICMP-style rate limiting, and
+//!   blackholed/aliased regions, all driven by the prober's virtual clock.
+//! * [`Prober`] — a budget- and packet-counting scanner with a validated
+//!   configuration, a [`faults`] stack, retransmissions under an optional
+//!   exponential-backoff [`RetryPolicy`] and ZMap-style total retransmit
+//!   budget, and a probe-rate model for simulated scan durations
+//!   (including backoff waits).
 //! * [`dealias`] — the paper's §6.2 alias detection: probe three random
 //!   addresses per /96 (three probes each); if all three respond the
 //!   prefix is classified aliased.
@@ -31,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod dealias;
+pub mod faults;
 mod internet;
 mod network;
 mod prober;
 mod scheme;
 
-pub use internet::{Internet, SeedExtraction, SeedRecord};
+pub use faults::{FaultAction, FaultConfigError, FaultModel, ProbeContext};
+pub use internet::{BuildError, Internet, SeedExtraction, SeedRecord};
 pub use network::{AliasedRegion, HostKind, HostPopulation, Network, NetworkSpec, SubnetPlan};
-pub use prober::{ProbeConfig, Prober, ProbeStats, ScanResult};
+pub use prober::{ProbeConfig, Prober, ProbeStats, RetryPolicy, ScanResult};
 pub use scheme::HostScheme;

@@ -3,23 +3,48 @@
 //! The paper probed generated targets with TCP/80 SYNs at 100 K packets per
 //! second (§6). The prober reproduces the observable behaviour of that
 //! pipeline: per-probe hit/miss answers from ground truth, packet and
-//! response accounting, optional probabilistic packet loss with retries
-//! (fault injection, in the tradition of the smoltcp examples'
-//! `--drop-chance`), randomized probe order, and a simulated scan duration
-//! derived from the configured packet rate.
+//! response accounting, a composable [fault stack](crate::faults) (uniform
+//! and bursty loss, per-prefix rate limiting, blackholed and aliased
+//! regions), retransmissions with an optional exponential-backoff policy
+//! and a ZMap-style total retransmit budget, randomized probe order, and a
+//! simulated scan duration derived from the configured packet rate plus
+//! accumulated backoff waits.
 
+use crate::faults::{FaultAction, FaultConfigError, FaultModel, ProbeContext, UniformLoss};
 use crate::internet::Internet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use sixgen_addr::NybbleAddr;
 use std::time::Duration;
 
+/// When and how lost probes are retransmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryPolicy {
+    /// Retransmissions follow the original probe back-to-back, spaced only
+    /// by the packet rate (ZMap's behaviour).
+    #[default]
+    Immediate,
+    /// Adaptive retry: before retransmission `n` (1-based), the virtual
+    /// clock advances by `base × 2^(n-1)`, capped at `cap`. Time-dependent
+    /// faults (loss bursts, rate-limit buckets) see the delay, so spaced
+    /// retries recover responses an immediate volley would lose.
+    ExponentialBackoff {
+        /// Wait before the first retransmission.
+        base: Duration,
+        /// Upper bound on a single wait.
+        cap: Duration,
+    },
+}
+
 /// Prober configuration.
+///
+/// Validated by [`Prober::new`]; see [`ProbeConfig::validate`].
 #[derive(Debug, Clone)]
 pub struct ProbeConfig {
     /// Probability that any single probe (or its response) is lost in
-    /// transit. `0.0` disables fault injection.
+    /// transit, independently per packet. `0.0` disables it. Shorthand for
+    /// pushing a [`UniformLoss`] onto `faults`.
     pub loss: f64,
     /// Additional attempts after a lost probe (a responsive host is
     /// reported unresponsive only if all `1 + retries` probes are lost).
@@ -29,6 +54,16 @@ pub struct ProbeConfig {
     pub rate_pps: u64,
     /// RNG seed for loss draws and probe-order shuffling.
     pub rng_seed: u64,
+    /// Additional fault models, consulted for every packet in order after
+    /// the `loss` shorthand. Verdicts combine with Drop > Answer > Pass
+    /// precedence.
+    pub faults: Vec<Box<dyn FaultModel>>,
+    /// Retransmission timing policy.
+    pub retry: RetryPolicy,
+    /// ZMap-style cap on the *total* number of retransmissions across the
+    /// prober's lifetime; once spent, lost probes are not retried. `None`
+    /// means unbounded.
+    pub retransmit_budget: Option<u64>,
 }
 
 impl Default for ProbeConfig {
@@ -38,21 +73,53 @@ impl Default for ProbeConfig {
             retries: 0,
             rate_pps: 100_000,
             rng_seed: 0x5CA7,
+            faults: Vec::new(),
+            retry: RetryPolicy::Immediate,
+            retransmit_budget: None,
         }
+    }
+}
+
+impl ProbeConfig {
+    /// Checks the configuration: `loss ∈ [0, 1]`, `rate_pps > 0`, and a
+    /// non-zero backoff base when exponential backoff is selected.
+    /// (Out-of-range loss used to panic deep inside the RNG on the first
+    /// probe; now it is a typed error at construction.)
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(FaultConfigError::ProbabilityOutOfRange {
+                what: "loss",
+                value: self.loss,
+            });
+        }
+        if self.rate_pps == 0 {
+            return Err(FaultConfigError::NonPositive { what: "rate_pps" });
+        }
+        if let RetryPolicy::ExponentialBackoff { base, .. } = self.retry {
+            if base.is_zero() {
+                return Err(FaultConfigError::NonPositive {
+                    what: "backoff base",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
 /// Cumulative packet accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProbeStats {
-    /// Probe packets transmitted (including retries).
+    /// Probe packets transmitted (including retransmissions).
     pub packets_sent: u64,
     /// Responses received.
     pub responses: u64,
+    /// Retransmissions sent (counts against
+    /// [`ProbeConfig::retransmit_budget`]).
+    pub retransmits: u64,
 }
 
 /// Result of scanning a target list on one port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanResult {
     /// Responsive target addresses, deduplicated, in the (shuffled) probe
     /// order.
@@ -79,20 +146,46 @@ impl ScanResult {
 pub struct Prober<'a> {
     internet: &'a Internet,
     config: ProbeConfig,
+    /// Compiled fault stack: the `loss` shorthand (if any) followed by
+    /// `config.faults` (moved out of the stored config).
+    faults: Vec<Box<dyn FaultModel>>,
     rng: StdRng,
     stats: ProbeStats,
+    /// Accumulated virtual backoff waits.
+    backoff: Duration,
 }
 
 impl<'a> Prober<'a> {
-    /// Creates a prober with the given fault/rate model.
-    pub fn new(internet: &'a Internet, config: ProbeConfig) -> Prober<'a> {
+    /// Creates a prober with the given fault/rate model. Returns a typed
+    /// error for invalid configurations (e.g. `loss` outside `[0, 1]`,
+    /// which formerly panicked inside the RNG on the first lossy probe).
+    pub fn new(
+        internet: &'a Internet,
+        mut config: ProbeConfig,
+    ) -> Result<Prober<'a>, FaultConfigError> {
+        config.validate()?;
+        let mut faults: Vec<Box<dyn FaultModel>> = Vec::with_capacity(1 + config.faults.len());
+        if config.loss > 0.0 {
+            faults.push(Box::new(UniformLoss::new(config.loss)?));
+        }
+        faults.append(&mut config.faults);
         let rng = StdRng::seed_from_u64(config.rng_seed);
-        Prober {
+        Ok(Prober {
             internet,
             config,
+            faults,
             rng,
             stats: ProbeStats::default(),
-        }
+            backoff: Duration::ZERO,
+        })
+    }
+
+    /// The prober's virtual clock: transmit time of everything sent so far
+    /// at the configured rate, plus accumulated backoff waits. Fault models
+    /// see this as [`ProbeContext::send_time`].
+    fn virtual_now(&self) -> Duration {
+        Duration::from_secs_f64(self.stats.packets_sent as f64 / self.config.rate_pps as f64)
+            + self.backoff
     }
 
     /// Probes one address once (plus configured retries). Returns whether a
@@ -106,16 +199,46 @@ impl<'a> Prober<'a> {
     /// retry setting).
     pub fn probe_attempts(&mut self, addr: NybbleAddr, port: u16, attempts: u32) -> bool {
         let responsive = self.internet.is_responsive(addr, port);
-        for _ in 0..attempts.max(1) {
-            self.stats.packets_sent += 1;
-            if responsive && (self.config.loss == 0.0 || !self.rng.gen_bool(self.config.loss)) {
-                self.stats.responses += 1;
-                return true;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                if let Some(budget) = self.config.retransmit_budget {
+                    if self.stats.retransmits >= budget {
+                        return false;
+                    }
+                }
+                self.stats.retransmits += 1;
+                if let RetryPolicy::ExponentialBackoff { base, cap } = self.config.retry {
+                    let doubling = (attempt - 1).min(20);
+                    self.backoff += base.saturating_mul(1 << doubling).min(cap);
+                }
             }
-            if !responsive {
-                // An unresponsive address never answers; remaining retries
-                // are still transmitted by a real scanner.
-                continue;
+            let ctx = ProbeContext {
+                addr,
+                port,
+                packet_index: self.stats.packets_sent,
+                send_time: self.virtual_now(),
+                attempt,
+                responsive,
+            };
+            self.stats.packets_sent += 1;
+            let mut action = FaultAction::Pass;
+            for model in &mut self.faults {
+                action = action.combine(model.apply(&ctx, &mut self.rng));
+            }
+            match action {
+                FaultAction::Drop => continue,
+                FaultAction::Answer => {
+                    self.stats.responses += 1;
+                    return true;
+                }
+                FaultAction::Pass => {
+                    if responsive {
+                        self.stats.responses += 1;
+                        return true;
+                    }
+                    // An unresponsive address never answers; remaining
+                    // retries are still transmitted by a real scanner.
+                }
             }
         }
         false
@@ -148,10 +271,11 @@ impl<'a> Prober<'a> {
         self.stats
     }
 
-    /// The wall-clock time a real scanner would have needed to transmit
-    /// every packet sent so far, at the configured rate.
+    /// The wall-clock time a real scanner would have needed for everything
+    /// sent so far: transmit time at the configured rate plus accumulated
+    /// retransmission backoff waits.
     pub fn simulated_duration(&self) -> Duration {
-        Duration::from_secs_f64(self.stats.packets_sent as f64 / self.config.rate_pps as f64)
+        self.virtual_now()
     }
 
     /// The underlying ground-truth model.
@@ -163,6 +287,7 @@ impl<'a> Prober<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{AliasedResponder, Blackhole, GilbertElliott, GilbertElliottConfig, IcmpRateLimit};
     use crate::network::NetworkSpec;
     use crate::scheme::HostScheme;
 
@@ -178,25 +303,82 @@ mod tests {
             )],
             &mut rng,
         )
+        .expect("unique prefixes")
     }
 
     fn a(s: &str) -> NybbleAddr {
         s.parse().unwrap()
     }
 
+    fn prober(net: &Internet, config: ProbeConfig) -> Prober<'_> {
+        Prober::new(net, config).expect("valid probe config")
+    }
+
     #[test]
     fn probe_counts_packets() {
         let net = internet();
-        let mut p = Prober::new(&net, ProbeConfig::default());
+        let mut p = prober(&net, ProbeConfig::default());
         assert!(p.probe(a("2001:db8::1"), 80));
         assert!(!p.probe(a("2001:db8::1234"), 80));
-        assert_eq!(p.stats(), ProbeStats { packets_sent: 2, responses: 1 });
+        assert_eq!(
+            p.stats(),
+            ProbeStats {
+                packets_sent: 2,
+                responses: 1,
+                retransmits: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let net = internet();
+        let bad_loss = Prober::new(
+            &net,
+            ProbeConfig {
+                loss: 1.5,
+                ..ProbeConfig::default()
+            },
+        );
+        assert!(matches!(
+            bad_loss,
+            Err(FaultConfigError::ProbabilityOutOfRange { what: "loss", .. })
+        ));
+        assert!(Prober::new(
+            &net,
+            ProbeConfig {
+                loss: f64::NAN,
+                ..ProbeConfig::default()
+            },
+        )
+        .is_err());
+        assert!(matches!(
+            Prober::new(
+                &net,
+                ProbeConfig {
+                    rate_pps: 0,
+                    ..ProbeConfig::default()
+                },
+            ),
+            Err(FaultConfigError::NonPositive { what: "rate_pps" })
+        ));
+        assert!(Prober::new(
+            &net,
+            ProbeConfig {
+                retry: RetryPolicy::ExponentialBackoff {
+                    base: Duration::ZERO,
+                    cap: Duration::from_secs(1),
+                },
+                ..ProbeConfig::default()
+            },
+        )
+        .is_err());
     }
 
     #[test]
     fn scan_finds_exactly_the_active_hosts() {
         let net = internet();
-        let mut p = Prober::new(&net, ProbeConfig::default());
+        let mut p = prober(&net, ProbeConfig::default());
         let targets: Vec<NybbleAddr> = (0..100u32)
             .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
             .collect();
@@ -210,7 +392,7 @@ mod tests {
     #[test]
     fn scan_deduplicates_targets() {
         let net = internet();
-        let mut p = Prober::new(&net, ProbeConfig::default());
+        let mut p = prober(&net, ProbeConfig::default());
         let result = p.scan(vec![a("2001:db8::1"), a("2001:db8::1")], 80);
         assert_eq!(result.targets, 1);
         assert_eq!(result.probes, 1);
@@ -221,7 +403,7 @@ mod tests {
     fn loss_with_retries_recovers_hosts() {
         let net = internet();
         // 50% loss, no retries: roughly half the hits are missed.
-        let mut lossy = Prober::new(
+        let mut lossy = prober(
             &net,
             ProbeConfig {
                 loss: 0.5,
@@ -234,12 +416,12 @@ mod tests {
             .collect();
         let r = lossy.scan(targets.clone(), 80);
         assert!(r.hits.len() < 45, "lost some: {}", r.hits.len());
-        // 50% loss but 7 retries: virtually every host answers.
-        let mut retried = Prober::new(
+        // 50% loss but 9 retries: virtually every host answers.
+        let mut retried = prober(
             &net,
             ProbeConfig {
                 loss: 0.5,
-                retries: 7,
+                retries: 9,
                 ..ProbeConfig::default()
             },
         );
@@ -250,9 +432,52 @@ mod tests {
     }
 
     #[test]
+    fn total_loss_with_max_retries_terminates_with_zero_hits() {
+        // Edge case: loss = 1.0 drops every packet; retries = u8::MAX must
+        // still terminate (50 targets × 256 attempts) with no hits.
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                loss: 1.0,
+                retries: u8::MAX,
+                ..ProbeConfig::default()
+            },
+        );
+        let targets: Vec<NybbleAddr> = (1..=50u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let r = p.scan(targets, 80);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.probes, 50 * 256);
+        assert_eq!(p.stats().retransmits, 50 * 255);
+    }
+
+    #[test]
+    fn retransmit_budget_caps_retries() {
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                loss: 1.0,
+                retries: 10,
+                retransmit_budget: Some(7),
+                ..ProbeConfig::default()
+            },
+        );
+        let targets: Vec<NybbleAddr> = (1..=50u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let r = p.scan(targets, 80);
+        // 50 first transmissions plus exactly 7 retransmissions.
+        assert_eq!(r.probes, 50 + 7);
+        assert_eq!(p.stats().retransmits, 7);
+    }
+
+    #[test]
     fn lossless_probe_sends_single_packet_even_with_retries() {
         let net = internet();
-        let mut p = Prober::new(
+        let mut p = prober(
             &net,
             ProbeConfig {
                 retries: 3,
@@ -269,7 +494,7 @@ mod tests {
     #[test]
     fn simulated_duration_follows_rate() {
         let net = internet();
-        let mut p = Prober::new(
+        let mut p = prober(
             &net,
             ProbeConfig {
                 rate_pps: 10,
@@ -286,16 +511,143 @@ mod tests {
     }
 
     #[test]
+    fn backoff_waits_count_toward_simulated_duration() {
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                loss: 1.0,
+                retries: 3,
+                rate_pps: 1_000_000,
+                retry: RetryPolicy::ExponentialBackoff {
+                    base: Duration::from_millis(100),
+                    cap: Duration::from_secs(10),
+                },
+                ..ProbeConfig::default()
+            },
+        );
+        assert!(!p.probe(a("2001:db8::1"), 80));
+        // 4 packets of transmit time (4µs) plus 100 + 200 + 400 ms backoff.
+        let expected = Duration::from_millis(700);
+        let got = p.simulated_duration();
+        assert!(
+            got >= expected && got < expected + Duration::from_millis(1),
+            "duration {got:?}"
+        );
+    }
+
+    #[test]
     fn scans_are_deterministic() {
         let net = internet();
         let targets: Vec<NybbleAddr> = (0..60u32)
             .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
             .collect();
-        let r1 = Prober::new(&net, ProbeConfig { loss: 0.3, ..Default::default() })
+        let r1 = prober(&net, ProbeConfig { loss: 0.3, ..Default::default() })
             .scan(targets.clone(), 80);
-        let r2 = Prober::new(&net, ProbeConfig { loss: 0.3, ..Default::default() })
+        let r2 = prober(&net, ProbeConfig { loss: 0.3, ..Default::default() })
             .scan(targets, 80);
         assert_eq!(r1.hits, r2.hits);
         assert_eq!(r1.probes, r2.probes);
+    }
+
+    fn bursty_stack() -> Vec<Box<dyn FaultModel>> {
+        vec![
+            Box::new(
+                GilbertElliott::new(GilbertElliottConfig {
+                    mean_good: Duration::from_millis(400),
+                    mean_bad: Duration::from_millis(200),
+                    loss_good: 0.01,
+                    loss_bad: 0.95,
+                })
+                .unwrap(),
+            ),
+            Box::new(IcmpRateLimit::new(48, 200.0, 50.0).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn fault_stacks_are_deterministic() {
+        // Identical rng_seed + identical fault stack ⇒ identical ScanResult,
+        // even with stateful time-driven models in the stack.
+        let net = internet();
+        let targets: Vec<NybbleAddr> = (0..80u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let run = || {
+            let mut p = prober(
+                &net,
+                ProbeConfig {
+                    retries: 2,
+                    rate_pps: 500,
+                    faults: bursty_stack(),
+                    retry: RetryPolicy::ExponentialBackoff {
+                        base: Duration::from_millis(50),
+                        cap: Duration::from_secs(2),
+                    },
+                    rng_seed: 0xFA_17,
+                    ..ProbeConfig::default()
+                },
+            );
+            p.scan(targets.clone(), 80)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn backoff_beats_immediate_retries_under_bursty_loss() {
+        // Same retransmit allowance, same fault stack: spacing retries out
+        // lets the Gilbert–Elliott channel leave its burst and the rate
+        // limiter refill, so the adaptive prober's hit rate must be at
+        // least the immediate prober's.
+        let net = internet();
+        let targets: Vec<NybbleAddr> = (1..=50u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let run = |retry: RetryPolicy| {
+            let mut p = prober(
+                &net,
+                ProbeConfig {
+                    retries: 3,
+                    rate_pps: 100,
+                    faults: bursty_stack(),
+                    retry,
+                    ..ProbeConfig::default()
+                },
+            );
+            p.scan(targets.clone(), 80).hit_rate()
+        };
+        let immediate = run(RetryPolicy::Immediate);
+        let adaptive = run(RetryPolicy::ExponentialBackoff {
+            base: Duration::from_millis(250),
+            cap: Duration::from_secs(4),
+        });
+        assert!(
+            adaptive >= immediate,
+            "adaptive {adaptive} < immediate {immediate}"
+        );
+        assert!(adaptive > 0.8, "adaptive recovered only {adaptive}");
+    }
+
+    #[test]
+    fn blackhole_and_aliased_fault_regions_shape_scans() {
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                faults: vec![
+                    Box::new(Blackhole::new(vec!["2001:db8::/112".parse().unwrap()])),
+                    Box::new(AliasedResponder::new(vec![
+                        "2001:db8:aaaa::/48".parse().unwrap()
+                    ])),
+                ],
+                ..ProbeConfig::default()
+            },
+        );
+        // Live host inside the blackhole: unreachable.
+        assert!(!p.probe(a("2001:db8::1"), 80));
+        // Dead address inside the aliased fault region: answers anyway.
+        assert!(p.probe(a("2001:db8:aaaa::1234"), 80));
+        // Unaffected dead address: still dead.
+        assert!(!p.probe(a("2001:db8:1::1"), 80));
     }
 }

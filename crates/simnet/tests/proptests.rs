@@ -59,6 +59,7 @@ fn build(
         }],
         &mut rng,
     )
+    .expect("unique prefixes")
 }
 
 proptest! {
@@ -137,7 +138,8 @@ proptest! {
         let mut prober = Prober::new(
             &internet,
             ProbeConfig { loss, retries: 2, rng_seed: seed, ..ProbeConfig::default() },
-        );
+        )
+        .expect("valid probe config");
         let network = &internet.networks()[0];
         let mut targets: Vec<NybbleAddr> = network.active().keys().copied().collect();
         targets.push("2001:db8::dead:ffff".parse().unwrap());
@@ -167,7 +169,7 @@ proptest! {
         let internet = build(scheme, SubnetPlan::Single(0), count, 0, seed);
         let network = &internet.networks()[0];
         let hits: Vec<NybbleAddr> = network.active().keys().copied().collect();
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let report = detect_aliased(&mut prober, &hits, 80, &DealiasConfig::default());
         prop_assert!(report.aliased.is_empty(), "false alias positives: {:?}", report.aliased);
     }
@@ -186,9 +188,10 @@ proptest! {
                 ports: vec![80],
             }],
             &mut rng,
-        );
+        )
+        .expect("unique prefixes");
         let hit = NybbleAddr::from_bits(region.network().bits() | 0x1234);
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let report = detect_aliased(&mut prober, &[hit], 80, &DealiasConfig::default());
         prop_assert!(report.is_aliased(hit));
     }

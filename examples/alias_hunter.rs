@@ -69,7 +69,8 @@ fn main() {
             },
         ],
         &mut rng,
-    );
+    )
+    .expect("unique prefixes");
 
     // Seed → generate → scan.
     let seeds = internet.extract_seeds(
@@ -80,7 +81,7 @@ fn main() {
         &mut rng,
     );
     let (grouped, _) = internet.table().group_by_prefix(seeds.iter().map(|r| r.addr));
-    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let mut hits = Vec::new();
     for (_, prefix_seeds) in grouped {
         let outcome = SixGen::new(prefix_seeds, Config::with_budget(30_000)).run();

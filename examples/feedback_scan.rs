@@ -45,12 +45,12 @@ fn main() {
     );
     for (prefix, prefix_seeds) in ranked {
         // Offline: generate all targets, scan them.
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let outcome = SixGen::new(prefix_seeds.iter().copied(), Config::with_budget(budget)).run();
         let offline = prober.scan(outcome.targets.iter(), 80);
 
         // Adaptive: interleave generation and probing at the same budget.
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let adaptive = adaptive_scan(
             prefix_seeds.iter().copied(),
             &AdaptiveConfig {

@@ -62,7 +62,8 @@ fn main() {
             retries: u8::from(loss > 0.0),
             ..ProbeConfig::default()
         },
-    );
+    )
+    .expect("valid probe config");
 
     let mut prefixes: Vec<_> = grouped.keys().copied().collect();
     prefixes.sort();

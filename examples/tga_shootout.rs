@@ -81,7 +81,7 @@ fn main() {
 
     let mut table = TextTable::new(vec!["Algorithm", "Targets", "Hits", "Hit rate"]);
     for (name, targets) in generators {
-        let mut prober = Prober::new(&internet, ProbeConfig::default());
+        let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
         let scan = prober.scan(targets, 80);
         table.row(vec![
             name.to_owned(),

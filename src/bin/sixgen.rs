@@ -5,6 +5,8 @@
 //! sixgen analyze  --seeds <file>
 //! sixgen split    --seeds <file> --groups K --out-prefix <path>
 //! sixgen entropy-ip --seeds <file> [--budget N] [--out <file>]
+//! sixgen simulate [--hosts N] [--loss P] [--bursty] [--rate-limit PPS] [--retries N]
+//!                 [--backoff DUR] [--retransmit-budget N] [--rate-pps N]
 //! ```
 //!
 //! * `generate` — run 6Gen over a seed hitlist (one address per line, `#`
@@ -15,6 +17,11 @@
 //! * `split` — split a hitlist into K random groups (train/test
 //!   experiments).
 //! * `entropy-ip` — generate targets with the Entropy/IP baseline instead.
+//! * `simulate` — end-to-end dry run on a synthetic Internet: extract
+//!   seeds, run 6Gen, then scan the generated targets through a
+//!   configurable fault stack (uniform loss, Gilbert–Elliott bursts,
+//!   per-/48 ICMP rate limiting) with optional exponential-backoff retries
+//!   and a total retransmit budget.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +35,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]"
+        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)"
     );
     ExitCode::from(2)
 }
@@ -42,6 +49,36 @@ struct Cli {
     groups: usize,
     out_prefix: Option<PathBuf>,
     rng_seed: u64,
+    time_limit: Option<std::time::Duration>,
+    hosts: usize,
+    loss: f64,
+    bursty: bool,
+    rate_limit: Option<f64>,
+    retries: u8,
+    backoff: Option<std::time::Duration>,
+    retransmit_budget: Option<u64>,
+    rate_pps: u64,
+}
+
+/// Parses a human duration: plain seconds (`30`), or with a `ms`/`s`/`m`/`h`
+/// suffix (`250ms`, `90s`, `5m`, `1h`). Fractions are allowed (`1.5m`).
+fn parse_duration(text: &str) -> Option<std::time::Duration> {
+    let (number, scale) = if let Some(n) = text.strip_suffix("ms") {
+        (n, 0.001)
+    } else if let Some(n) = text.strip_suffix('h') {
+        (n, 3600.0)
+    } else if let Some(n) = text.strip_suffix('m') {
+        (n, 60.0)
+    } else if let Some(n) = text.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (text, 1.0)
+    };
+    let value: f64 = number.parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    Some(std::time::Duration::from_secs_f64(value * scale))
 }
 
 fn parse(args: &[String]) -> Option<Cli> {
@@ -54,6 +91,15 @@ fn parse(args: &[String]) -> Option<Cli> {
         groups: 10,
         out_prefix: None,
         rng_seed: 0x6CE4,
+        time_limit: None,
+        hosts: 2000,
+        loss: 0.0,
+        bursty: false,
+        rate_limit: None,
+        retries: 0,
+        backoff: None,
+        retransmit_budget: None,
+        rate_pps: 100_000,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +118,15 @@ fn parse(args: &[String]) -> Option<Cli> {
             "--groups" => cli.groups = it.next()?.parse().ok()?,
             "--out-prefix" => cli.out_prefix = Some(PathBuf::from(it.next()?)),
             "--rng-seed" => cli.rng_seed = it.next()?.parse().ok()?,
+            "--time-limit" => cli.time_limit = Some(parse_duration(it.next()?)?),
+            "--hosts" => cli.hosts = it.next()?.parse().ok()?,
+            "--loss" => cli.loss = it.next()?.parse().ok()?,
+            "--bursty" => cli.bursty = true,
+            "--rate-limit" => cli.rate_limit = Some(it.next()?.parse().ok()?),
+            "--retries" => cli.retries = it.next()?.parse().ok()?,
+            "--backoff" => cli.backoff = Some(parse_duration(it.next()?)?),
+            "--retransmit-budget" => cli.retransmit_budget = Some(it.next()?.parse().ok()?),
+            "--rate-pps" => cli.rate_pps = it.next()?.parse().ok()?,
             _ => return None,
         }
     }
@@ -112,6 +167,8 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
             mode: cli.mode,
             threads: 0,
             rng_seed: cli.rng_seed,
+            time_limit: cli.time_limit,
+            ..Config::default()
         },
     )
     .run();
@@ -192,6 +249,116 @@ fn cmd_entropy_ip(cli: &Cli) -> Result<(), String> {
     write_targets(cli, &targets)
 }
 
+fn cmd_simulate(cli: &Cli) -> Result<(), String> {
+    use sixgen::simnet::faults::{FaultModel, GilbertElliott, GilbertElliottConfig, IcmpRateLimit};
+    use sixgen::simnet::{
+        HostScheme, Internet, NetworkSpec, ProbeConfig, Prober, RetryPolicy, SeedExtraction,
+    };
+
+    let mut faults: Vec<Box<dyn FaultModel>> = Vec::new();
+    if cli.bursty {
+        faults.push(Box::new(
+            GilbertElliott::new(GilbertElliottConfig::default()).map_err(|e| e.to_string())?,
+        ));
+    }
+    if let Some(rate) = cli.rate_limit {
+        faults.push(Box::new(
+            IcmpRateLimit::new(48, rate, rate).map_err(|e| e.to_string())?,
+        ));
+    }
+    let retry = match cli.backoff {
+        Some(base) => RetryPolicy::ExponentialBackoff {
+            base,
+            cap: std::time::Duration::from_secs(60),
+        },
+        None => RetryPolicy::Immediate,
+    };
+    let probe_config = ProbeConfig {
+        loss: cli.loss,
+        retries: cli.retries,
+        rate_pps: cli.rate_pps,
+        rng_seed: cli.rng_seed ^ 0x5CA7,
+        faults,
+        retry,
+        retransmit_budget: cli.retransmit_budget,
+    };
+    // Reject a bad scanner config before spending time on generation.
+    probe_config.validate().map_err(|e| e.to_string())?;
+
+    let mut rng = StdRng::seed_from_u64(cli.rng_seed);
+    let per_network = (cli.hosts / 2).max(1);
+    let internet = Internet::build(
+        vec![
+            NetworkSpec::simple(
+                "2001:db8::/32".parse().unwrap(),
+                64496,
+                "SimSequential",
+                HostScheme::LowByteSequential,
+                per_network,
+            ),
+            NetworkSpec::simple(
+                "2620:100::/40".parse().unwrap(),
+                64497,
+                "SimSparse",
+                HostScheme::LowByteRandom { nybbles: 4 },
+                per_network,
+            ),
+        ],
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let seeds: Vec<NybbleAddr> = internet
+        .extract_seeds(&SeedExtraction::default(), &mut rng)
+        .into_iter()
+        .map(|record| record.addr)
+        .collect();
+    let outcome = SixGen::new(
+        seeds.iter().copied(),
+        Config {
+            budget: cli.budget,
+            mode: cli.mode,
+            threads: 0,
+            rng_seed: cli.rng_seed,
+            time_limit: cli.time_limit,
+            ..Config::default()
+        },
+    )
+    .run();
+    eprintln!(
+        "6Gen: {} targets from {} seeds (stopped: {:?})",
+        outcome.targets.len(),
+        seeds.len(),
+        outcome.stats.termination,
+    );
+
+    let mut prober = Prober::new(&internet, probe_config).map_err(|e| e.to_string())?;
+    let result = prober.scan(outcome.targets.iter(), 80);
+    let stats = prober.stats();
+    println!(
+        "scan: {} hits / {} targets ({:.1}% hit rate)",
+        result.hits.len(),
+        result.targets,
+        result.hit_rate() * 100.0,
+    );
+    println!(
+        "packets: {} sent ({} retransmits), {} responses",
+        stats.packets_sent, stats.retransmits, stats.responses,
+    );
+    println!(
+        "simulated duration: {:.3}s at {} pps (incl. backoff waits)",
+        prober.simulated_duration().as_secs_f64(),
+        cli.rate_pps,
+    );
+    println!(
+        "ground truth: {} active hosts, {} recovered ({:.1}%)",
+        internet.active_host_count(),
+        result.hits.len(),
+        result.hits.len() as f64 / internet.active_host_count().max(1) as f64 * 100.0,
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -205,6 +372,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&cli),
         "split" => cmd_split(&cli),
         "entropy-ip" => cmd_entropy_ip(&cli),
+        "simulate" => cmd_simulate(&cli),
         _ => return usage(),
     };
     match result {

@@ -151,6 +151,63 @@ fn entropy_ip_subcommand_generates() {
 }
 
 #[test]
+fn simulate_runs_fault_injected_scan() {
+    let output = bin()
+        .args([
+            "simulate",
+            "--hosts",
+            "200",
+            "--budget",
+            "2000",
+            "--bursty",
+            "--rate-limit",
+            "500",
+            "--retries",
+            "2",
+            "--backoff",
+            "100ms",
+            "--retransmit-budget",
+            "1000",
+            "--rate-pps",
+            "5000",
+        ])
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    assert!(stdout.contains("retransmits"), "{stdout}");
+    assert!(stdout.contains("simulated duration"), "{stdout}");
+}
+
+#[test]
+fn simulate_rejects_invalid_loss() {
+    let output = bin()
+        .args(["simulate", "--hosts", "50", "--loss", "1.5"])
+        .output()
+        .expect("run sixgen");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("loss"), "{stderr}");
+}
+
+#[test]
+fn generate_respects_time_limit_flag() {
+    let dir = workdir("deadline");
+    let seeds = write_seeds(&dir);
+    let output = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "100000", "--time-limit", "0ms"])
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("Deadline"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let status = bin().status().expect("run sixgen");
     assert_eq!(status.code(), Some(2));

@@ -27,7 +27,7 @@ fn pipeline_discovers_new_hosts_and_filters_aliases() {
     let (grouped, unrouted) = internet.table().group_by_prefix(seed_set.iter().copied());
     assert!(unrouted.is_empty());
 
-    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let mut hits = Vec::new();
     for (_, prefix_seeds) in grouped {
         if prefix_seeds.len() < 2 {
@@ -88,7 +88,7 @@ fn sixgen_beats_random_guessing() {
 
     let budget = 5_000u64;
     let outcome = SixGen::new(prefix_seeds.clone(), Config::with_budget(budget)).run();
-    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let sixgen_hits = prober.scan(outcome.targets.iter(), 80).hits.len();
 
     let random = sixgen::baselines::random_prefix_targets(prefix, budget as usize, &mut rng);
@@ -112,7 +112,7 @@ fn churned_seeds_do_not_respond() {
         &mut rng,
     );
     assert!(!seeds.is_empty());
-    let mut prober = Prober::new(&internet, ProbeConfig::default());
+    let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let scan = prober.scan(seeds.iter().map(|r| r.addr), 80);
     // Churned addresses in honest networks never respond; only those that
     // happen to sit inside aliased regions can.

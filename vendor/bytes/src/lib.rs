@@ -1,0 +1,237 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
+//! crate, providing the small API surface this workspace uses for binary
+//! hitlist I/O: `Bytes`/`BytesMut` buffers and the `Buf`/`BufMut` cursor
+//! traits (big-endian `u128`, little-endian `u64`, raw slices).
+//!
+//! Unlike the real crate, buffers are plain `Vec<u8>`s — no refcounted
+//! zero-copy slicing — which is fully sufficient for file encode/decode.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unconsumed) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` if nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new buffer over a subrange of the remaining bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> BytesMut {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte buffer (big-endian unless suffixed `_le`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `dst.len()` bytes into `dst`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consumes 8 bytes as a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Consumes 16 bytes as a big-endian (network-order) `u128`.
+    fn get_u128(&mut self) -> u128 {
+        let mut raw = [0u8; 16];
+        self.copy_to_slice(&mut raw);
+        u128::from_be_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a big-endian (network-order) `u128`.
+    fn put_u128(&mut self, value: u128) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"hdr!");
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_u128(0xDEAD_BEEF);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 4 + 8 + 16);
+        let mut hdr = [0u8; 4];
+        bytes.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"hdr!");
+        assert_eq!(bytes.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(bytes.get_u128(), 0xDEAD_BEEF);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_index() {
+        let bytes = Bytes::from(vec![1u8, 2, 3, 4]);
+        let sub = bytes.slice(1..3);
+        assert_eq!(&sub[..], &[2, 3]);
+        let mut m = BytesMut::from(&b"abc"[..]);
+        m[0] ^= 0xFF;
+        assert_eq!(m[0], b'a' ^ 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::from_static(b"xy");
+        let mut dst = [0u8; 4];
+        bytes.copy_to_slice(&mut dst);
+    }
+}

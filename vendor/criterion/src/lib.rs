@@ -1,0 +1,151 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements just enough of the criterion 0.5 API for this workspace's
+//! benches to compile and run without registry access: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple best-of-N wall-clock
+//! measurement printed to stdout — no statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the best observed rate.
+pub struct Bencher {
+    iters: u64,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, keeping the fastest of a few batched measurement
+    /// rounds (after one warm-up round).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        // Warm-up and batch sizing: aim for ~10ms per round.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_round = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let rounds = 5u32;
+        let mut best = Duration::MAX;
+        let mut total_iters = 1u64;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..per_round {
+                black_box(body());
+            }
+            let elapsed = start.elapsed() / per_round as u32;
+            best = best.min(elapsed);
+            total_iters += per_round as u64;
+        }
+        self.iters = total_iters;
+        self.best = best;
+    }
+}
+
+/// Groups related benchmarks under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `body` with a borrowed input under `prefix/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.prefix, id.name);
+        self.criterion.run_named(&name, |b| body(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Honors criterion's CLI contract loosely: accepted but ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, prefix: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        self.run_named(name, body);
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) {
+        let mut bencher = Bencher {
+            iters: 0,
+            best: Duration::ZERO,
+        };
+        body(&mut bencher);
+        println!(
+            "bench {:<44} {:>12.1?}/iter ({} iters)",
+            name, bencher.best, bencher.iters
+        );
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
