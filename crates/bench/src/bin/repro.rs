@@ -21,7 +21,8 @@
 //!   budgetpolicy  §8 budget-allocation ablation
 //!   eipranked  §7.1 budget-aware Entropy/IP ablation
 //!   faults    hit rate vs fault severity, fixed vs adaptive retries
-//!   all       everything above
+//!   trajectory  core perf trajectory -> BENCH_core.json
+//!   all       everything above (except trajectory)
 //!
 //! OPTIONS
 //!   --scale <f64>    world scale factor           (default 1.0)
@@ -29,6 +30,7 @@
 //!   --results <dir>  TSV output directory         (default results)
 //!   --threads <n>    6Gen worker threads, 0=auto  (default 0)
 //!   --quick          reduced sweeps for smoke runs
+//!   --metrics-out <file>  write the aggregated metrics registry as JSON
 //! ```
 
 use sixgen_bench::experiments::{
@@ -36,11 +38,15 @@ use sixgen_bench::experiments::{
     fig5_clusters, fig6_nybbles, fig7_hits, host_type, table1_ases, table2_downsampling, tight_vs_loose,
     ExperimentOptions,
 };
+use sixgen_bench::trajectory;
+use sixgen_obs::MetricsRegistry;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|all>..."
+         [--metrics-out FILE] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|all>..."
     );
     std::process::exit(2);
 }
@@ -48,9 +54,13 @@ fn usage() -> ! {
 fn main() {
     let mut opts = ExperimentOptions::default();
     let mut wanted: Vec<String> = Vec::new();
+    let mut metrics_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -81,6 +91,9 @@ fn main() {
     if wanted.is_empty() {
         usage();
     }
+    if metrics_out.is_some() {
+        opts.metrics = Some(MetricsRegistry::shared());
+    }
 
     for name in &wanted {
         match name.as_str() {
@@ -108,12 +121,17 @@ fn main() {
             "budgetpolicy" => budget_policy::run(&opts),
             "eipranked" => eip_ranked::run(&opts),
             "faults" => fault_severity::run(&opts),
+            "trajectory" => trajectory::run(&opts),
             "all" => run_all(&opts),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();
             }
         }
+    }
+    if let (Some(path), Some(registry)) = (&metrics_out, &opts.metrics) {
+        std::fs::write(path, registry.to_json()).expect("write metrics json");
+        eprintln!("metrics written to {}", path.display());
     }
     experiments::banner_done(&opts);
 }

@@ -18,7 +18,9 @@ pub mod table1_ases;
 pub mod table2_downsampling;
 pub mod tight_vs_loose;
 
+use sixgen_obs::MetricsRegistry;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Shared experiment options (from the `repro` command line).
 #[derive(Debug, Clone)]
@@ -33,6 +35,10 @@ pub struct ExperimentOptions {
     pub quick: bool,
     /// Worker threads for 6Gen.
     pub threads: usize,
+    /// Optional metrics sink (`repro --metrics-out`); experiments that run
+    /// the pipeline or the engine thread it through so one registry
+    /// aggregates the whole invocation.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ExperimentOptions {
@@ -43,6 +49,7 @@ impl Default for ExperimentOptions {
             results_dir: PathBuf::from("results"),
             quick: false,
             threads: 0,
+            metrics: None,
         }
     }
 }

@@ -53,6 +53,7 @@ pub fn run(opts: &ExperimentOptions) -> WorldRun {
         },
         budget_per_prefix: opts.budget,
         threads: opts.threads,
+        metrics: opts.metrics.clone(),
         ..WorldRunConfig::default()
     };
     let run = run_world(&cfg);

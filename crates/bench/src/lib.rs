@@ -17,5 +17,6 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod trajectory;
 
 pub use pipeline::{run_world, PrefixRunResult, WorldRun, WorldRunConfig};

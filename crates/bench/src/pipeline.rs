@@ -8,9 +8,12 @@ use sixgen_addr::{NybbleAddr, Prefix};
 use sixgen_core::{ClusterInfo, ClusterMode, Config, RunStats, SixGen};
 use sixgen_datasets::downsample;
 use sixgen_datasets::world::{build_world, WorldConfig};
+use sixgen_obs::MetricsRegistry;
 use sixgen_simnet::dealias::{detect_aliased, AliasReport, DealiasConfig};
 use sixgen_simnet::{HostKind, Internet, ProbeConfig, Prober, SeedExtraction};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of one full pipeline run.
 #[derive(Debug, Clone)]
@@ -39,6 +42,10 @@ pub struct WorldRunConfig {
     pub rng_seed: u64,
     /// How many top ASes (by post-/96 hits) get the /112 refinement.
     pub refine_top_ases: usize,
+    /// Optional metrics sink. Shared with every per-prefix 6Gen run and
+    /// the prober; the pipeline additionally records per-prefix runtime
+    /// (`bench/prefix_run`) and scan/dealias probe counters.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for WorldRunConfig {
@@ -55,6 +62,7 @@ impl Default for WorldRunConfig {
             downsample: None,
             rng_seed: 0xEC0,
             refine_top_ases: 10,
+            metrics: None,
         }
     }
 }
@@ -158,10 +166,18 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
         &internet,
         ProbeConfig {
             rng_seed: cfg.rng_seed ^ 0x5CA9,
+            metrics: cfg.metrics.clone(),
             ..ProbeConfig::default()
         },
     )
     .expect("valid probe config");
+
+    // Pipeline-level metric handles (prober/engine layers register their
+    // own under `prober/...` and `engine/...`).
+    let prefix_run = cfg.metrics.as_deref().map(|m| m.time_histogram("bench/prefix_run"));
+    let prefixes_ctr = cfg.metrics.as_deref().map(|m| m.counter("bench/prefixes"));
+    let scan_probes = cfg.metrics.as_deref().map(|m| m.counter("bench/scan_probes"));
+    let dealias_probes = cfg.metrics.as_deref().map(|m| m.counter("bench/dealias_probes"));
 
     let mut results = Vec::with_capacity(prefixes.len());
     let mut all_hits: Vec<NybbleAddr> = Vec::new();
@@ -172,6 +188,7 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
             .lookup(prefix.network())
             .map(|e| e.asn)
             .unwrap_or(0);
+        let started = Instant::now();
         let outcome = SixGen::new(
             seeds.iter().copied(),
             Config {
@@ -179,10 +196,17 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
                 mode: cfg.mode,
                 threads: cfg.threads,
                 rng_seed: cfg.rng_seed ^ prefix.network().bits() as u64,
+                metrics: cfg.metrics.clone(),
                 ..Config::default()
             },
         )
         .run();
+        if let Some(h) = &prefix_run {
+            h.record_duration(started.elapsed());
+        }
+        if let Some(c) = &prefixes_ctr {
+            c.inc();
+        }
         let scan = prober.scan(outcome.targets.iter(), cfg.port);
         let hit_set: HashSet<NybbleAddr> = scan.hits.iter().copied().collect();
         let inactive_seeds = seeds.iter().filter(|s| !hit_set.contains(s)).count();
@@ -196,6 +220,10 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
             hits: scan.hits,
             inactive_seeds,
         });
+    }
+    let packets_after_scans = prober.stats().packets_sent;
+    if let Some(c) = &scan_probes {
+        c.add(packets_after_scans);
     }
 
     // §6.2: /96 alias detection over all hits.
@@ -255,6 +283,9 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
     }
 
     let probes_sent = prober.stats().packets_sent;
+    if let Some(c) = &dealias_probes {
+        c.add(probes_sent - packets_after_scans);
+    }
     WorldRun {
         internet,
         seeds_by_prefix,

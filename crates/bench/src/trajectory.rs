@@ -1,0 +1,286 @@
+//! `repro trajectory` — the committed core-performance trajectory.
+//!
+//! Measures three throughput axes of the reproduction and emits them as a
+//! small JSON document (`BENCH_core.json`, committed at the repo root) so
+//! performance regressions show up in review diffs:
+//!
+//! 1. **Seed scaling** — median 6Gen runtime versus seed-set size on the
+//!    Figure 2 synthetic corpus (the paper's scaling claim).
+//! 2. **Budget-charge throughput** — addresses committed per second by
+//!    [`BudgetTracker::charge`], the hot path the single-pass rewrite
+//!    targets.
+//! 3. **Tree-query throughput** — [`NybbleTree::count_in_range`] queries
+//!    per second, the inner loop of growth evaluation.
+//!
+//! Absolute numbers are machine-dependent; the committed file documents
+//! the *shape* (scaling curve, relative throughput) and gives CI a single
+//! artifact to archive per run.
+
+use super::experiments::ExperimentOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sixgen_addr::{NybbleAddr, NybbleTree, Range};
+use sixgen_core::{BudgetTracker, Config, SixGen};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One point of the seed-scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Seed-set size.
+    pub seeds: usize,
+    /// Median wall-clock runtime in milliseconds.
+    pub wall_ms: f64,
+    /// Median CPU time in milliseconds.
+    pub cpu_ms: f64,
+    /// Targets generated (identical across repeats at fixed seed).
+    pub targets: u64,
+}
+
+/// A simple items-over-time throughput measurement.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Items processed (addresses charged, queries executed).
+    pub items: u64,
+    /// Total wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Items per second.
+    pub per_sec: f64,
+}
+
+impl Throughput {
+    fn measure(items: u64, elapsed_ms: f64) -> Throughput {
+        let wall_ms = elapsed_ms.max(1e-6);
+        Throughput {
+            items,
+            wall_ms,
+            per_sec: items as f64 / (wall_ms / 1e3),
+        }
+    }
+}
+
+/// The full trajectory document.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Seed-scaling curve (Figure 2 axis).
+    pub seed_scaling: Vec<ScalePoint>,
+    /// Budget-charge throughput.
+    pub budget_charge: Throughput,
+    /// Tree range-query throughput.
+    pub tree_query: Throughput,
+}
+
+impl Trajectory {
+    /// Renders the document as pretty-printed JSON with a schema tag and
+    /// stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"sixgen-bench-trajectory/v1\",\n");
+        out.push_str("  \"seed_scaling\": [\n");
+        for (i, p) in self.seed_scaling.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"seeds\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \"targets\": {}}}{}",
+                p.seeds,
+                p.wall_ms,
+                p.cpu_ms,
+                p.targets,
+                if i + 1 < self.seed_scaling.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n");
+        for (name, t, comma) in [
+            ("budget_charge", &self.budget_charge, ","),
+            ("tree_query", &self.tree_query, ""),
+        ] {
+            let _ = writeln!(
+                out,
+                "  \"{}\": {{\"items\": {}, \"wall_ms\": {:.3}, \"per_sec\": {:.1}}}{}",
+                name, t.items, t.wall_ms, t.per_sec, comma
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Synthetic hosting-provider seeds (same structure as the Figure 2
+/// corpus: sequential low bytes over a few dozen subnets plus noise).
+fn synthetic_seeds(count: usize, rng: &mut StdRng) -> Vec<NybbleAddr> {
+    (0..count)
+        .map(|i| {
+            let subnet = (i % 48) as u128;
+            let structured = (i / 48 + 1) as u128;
+            let noise: u128 = if i % 7 == 0 {
+                rng.gen::<u16>() as u128
+            } else {
+                0
+            };
+            NybbleAddr::from_bits(
+                (0x2600_3c00u128 << 96) | (subnet << 64) | structured | noise << 16,
+            )
+        })
+        .collect()
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
+
+fn seed_scaling(opts: &ExperimentOptions) -> Vec<ScalePoint> {
+    let sizes: &[usize] = if opts.quick {
+        &[10, 100, 1_000]
+    } else {
+        &[10, 100, 1_000, 5_000, 10_000]
+    };
+    let repeats = if opts.quick { 1 } else { 3 };
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let mut walls = Vec::new();
+        let mut cpus = Vec::new();
+        let mut targets = 0u64;
+        for rep in 0..repeats {
+            let mut rng = StdRng::seed_from_u64(42 + rep);
+            let seeds = synthetic_seeds(n, &mut rng);
+            let outcome = SixGen::new(
+                seeds,
+                Config {
+                    budget: opts.budget,
+                    threads: opts.threads,
+                    rng_seed: rep,
+                    metrics: opts.metrics.clone(),
+                    ..Config::default()
+                },
+            )
+            .run();
+            walls.push(outcome.stats.wall_time.as_secs_f64() * 1e3);
+            cpus.push(outcome.stats.cpu_time.as_secs_f64() * 1e3);
+            targets = outcome.targets.len() as u64;
+        }
+        points.push(ScalePoint {
+            seeds: n,
+            wall_ms: median(walls),
+            cpu_ms: median(cpus),
+            targets,
+        });
+    }
+    points
+}
+
+fn budget_charge_throughput(opts: &ExperimentOptions) -> Throughput {
+    let ranges: Vec<Range> = (0..if opts.quick { 8 } else { 32 })
+        .map(|i| {
+            let pat = if opts.quick {
+                format!("2001:db8:{i:x}::??")
+            } else {
+                format!("2001:db8:{i:x}::???")
+            };
+            pat.parse().expect("valid range pattern")
+        })
+        .collect();
+    let mut tracker = BudgetTracker::new(u64::MAX);
+    let mut rng = StdRng::seed_from_u64(9);
+    let started = Instant::now();
+    for range in &ranges {
+        tracker.charge(range, &mut rng);
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    Throughput::measure(tracker.used(), elapsed_ms)
+}
+
+fn tree_query_throughput(opts: &ExperimentOptions) -> Throughput {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tree = NybbleTree::from_addresses(synthetic_seeds(
+        if opts.quick { 2_000 } else { 20_000 },
+        &mut rng,
+    ));
+    let queries = if opts.quick { 1_000 } else { 10_000 };
+    let ranges: Vec<Range> = (0..48u32)
+        .map(|s| {
+            format!("2600:3c00:0:{s:x}::???")
+                .parse()
+                .expect("valid range pattern")
+        })
+        .collect();
+    let mut matches = 0u64;
+    let started = Instant::now();
+    for q in 0..queries {
+        matches += tree.count_in_range(&ranges[q as usize % ranges.len()]);
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    // Keep the accumulated count observable so the loop cannot be elided.
+    assert!(matches < u64::MAX);
+    Throughput::measure(queries, elapsed_ms)
+}
+
+/// Collects all three measurements.
+pub fn collect(opts: &ExperimentOptions) -> Trajectory {
+    Trajectory {
+        seed_scaling: seed_scaling(opts),
+        budget_charge: budget_charge_throughput(opts),
+        tree_query: tree_query_throughput(opts),
+    }
+}
+
+/// The default output path (repo root when run from there).
+pub fn default_output() -> PathBuf {
+    PathBuf::from("BENCH_core.json")
+}
+
+/// Runs the trajectory and writes `BENCH_core.json` into the current
+/// directory, printing the curve as it goes.
+pub fn run(opts: &ExperimentOptions) {
+    run_to(opts, &default_output());
+}
+
+/// Runs the trajectory and writes the JSON document to `path`.
+pub fn run_to(opts: &ExperimentOptions, path: &Path) {
+    super::experiments::banner("Core trajectory: seed scaling, charge and tree throughput");
+    let trajectory = collect(opts);
+    println!("{:>8}  {:>12}  {:>12}  {:>10}", "seeds", "wall (ms)", "cpu (ms)", "targets");
+    for p in &trajectory.seed_scaling {
+        println!(
+            "{:>8}  {:>12.2}  {:>12.2}  {:>10}",
+            p.seeds, p.wall_ms, p.cpu_ms, p.targets
+        );
+    }
+    println!(
+        "budget charge: {:.0} addrs/s ({} addrs)   tree query: {:.0} queries/s",
+        trajectory.budget_charge.per_sec,
+        trajectory.budget_charge.items,
+        trajectory.tree_query.per_sec
+    );
+    std::fs::write(path, trajectory.to_json()).expect("write trajectory json");
+    println!("trajectory -> {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_has_stable_shape() {
+        let opts = ExperimentOptions {
+            quick: true,
+            budget: 3_000,
+            threads: 1,
+            ..ExperimentOptions::default()
+        };
+        let t = collect(&opts);
+        assert_eq!(
+            t.seed_scaling.iter().map(|p| p.seeds).collect::<Vec<_>>(),
+            vec![10, 100, 1_000]
+        );
+        assert!(t.seed_scaling.iter().all(|p| p.targets > 0));
+        assert!(t.budget_charge.items > 0 && t.budget_charge.per_sec > 0.0);
+        assert!(t.tree_query.items == 1_000 && t.tree_query.per_sec > 0.0);
+        let json = t.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"sixgen-bench-trajectory/v1\""));
+        assert!(json.contains("\"seed_scaling\""));
+        assert!(json.contains("\"budget_charge\""));
+        assert!(json.contains("\"tree_query\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Clusters and growth evaluation (Algorithm 1's `FindCandidateSeeds` and
 //! the per-cluster half of `GrowCluster`).
 
+use crate::draw::bounded_draw;
 use crate::ClusterMode;
 use sixgen_addr::{compare_density, NybbleAddr, NybbleTree, Range};
 use std::collections::HashSet;
@@ -73,6 +74,23 @@ impl Growth {
     }
 }
 
+/// Result of [`evaluate_growth`]: the best growth (if any) plus counts that
+/// feed the observability layer's candidate-set histograms. Both counts are
+/// pure functions of the seed set and cluster, so they are safe to record
+/// in the deterministic metrics section.
+#[derive(Debug, Clone)]
+pub struct GrowthEvaluation {
+    /// The best growth, or `None` when the cluster already contains every
+    /// seed (no candidate exists) — the algorithm's second termination
+    /// condition.
+    pub growth: Option<Growth>,
+    /// Number of candidate seeds at minimum Hamming distance.
+    pub candidates: u64,
+    /// Number of distinct expanded ranges actually evaluated (candidates
+    /// minus duplicate-range skips).
+    pub ranges_evaluated: u64,
+}
+
 /// Evaluates the best growth for one cluster (`FindCandidateSeeds` plus the
 /// inner loop of `GrowCluster`):
 ///
@@ -85,23 +103,29 @@ impl Growth {
 ///    ranges and then uniformly at random (via `tie_break`, a pseudo-random
 ///    stream supplied by the engine so parallel evaluation stays
 ///    deterministic).
-///
-/// Returns `None` when the cluster already contains every seed (no
-/// candidate exists) — the algorithm's second termination condition.
-pub fn best_growth(
+pub fn evaluate_growth(
     cluster: &Cluster,
     tree: &NybbleTree,
     mode: ClusterMode,
     mut tie_break: impl FnMut() -> u64,
-) -> Option<Growth> {
-    let (_dist, candidates) = tree.nearest_outside(&cluster.range)?;
+) -> GrowthEvaluation {
+    let Some((_dist, candidates)) = tree.nearest_outside(&cluster.range) else {
+        return GrowthEvaluation {
+            growth: None,
+            candidates: 0,
+            ranges_evaluated: 0,
+        };
+    };
     let mut best: Option<Growth> = None;
     let mut ties: u64 = 0;
+    let mut candidate_count: u64 = 0;
+    let mut ranges_evaluated: u64 = 0;
     // Distinct candidates often induce the same expanded range (e.g. two
     // seeds differing from the range in the same positions under loose
     // mode); evaluate each range once.
     let mut seen: HashSet<Range> = HashSet::new();
     for seed in candidates {
+        candidate_count += 1;
         let range = match mode {
             ClusterMode::Loose => cluster.range.expand_loose(seed),
             ClusterMode::Tight => cluster.range.expand_tight(seed),
@@ -109,6 +133,7 @@ pub fn best_growth(
         if !seen.insert(range.clone()) {
             continue;
         }
+        ranges_evaluated += 1;
         let growth = Growth {
             seed_count: tree.count_in_range(&range),
             range_size: range.size(),
@@ -126,9 +151,10 @@ pub fn best_growth(
                 }
                 core::cmp::Ordering::Equal => {
                     // Reservoir sampling over equally-good growths: replace
-                    // the incumbent with probability 1/(ties+1).
+                    // the incumbent with probability 1/(ties+1), drawn
+                    // without modulo bias (see `bounded_draw`).
                     ties += 1;
-                    if tie_break().is_multiple_of(ties) {
+                    if bounded_draw(&mut tie_break, ties) == 0 {
                         best = Some(growth);
                     }
                 }
@@ -136,7 +162,23 @@ pub fn best_growth(
             },
         }
     }
-    best
+    GrowthEvaluation {
+        growth: best,
+        candidates: candidate_count,
+        ranges_evaluated,
+    }
+}
+
+/// The best growth for one cluster, without the candidate-count
+/// bookkeeping. See [`evaluate_growth`] for the algorithm; returns `None`
+/// when the cluster already contains every seed.
+pub fn best_growth(
+    cluster: &Cluster,
+    tree: &NybbleTree,
+    mode: ClusterMode,
+    tie_break: impl FnMut() -> u64,
+) -> Option<Growth> {
+    evaluate_growth(cluster, tree, mode, tie_break).growth
 }
 
 #[cfg(test)]
@@ -225,6 +267,28 @@ mod tests {
         // loose alternative.
         assert_eq!(g.range_size, 2);
         assert_eq!(g.seed_count, 2);
+    }
+
+    #[test]
+    fn evaluate_growth_reports_candidate_counts() {
+        // ::11 and ::19 are the two distance-1 candidates; under loose mode
+        // both induce the same expanded range ::1?, so only one distinct
+        // range is evaluated.
+        let t = tree(&["2001:db8::10", "2001:db8::11", "2001:db8::19", "2001:db8::99"]);
+        let c = Cluster::singleton(addr("2001:db8::10"));
+        let eval = evaluate_growth(&c, &t, ClusterMode::Loose, || 0);
+        assert_eq!(eval.candidates, 2);
+        assert_eq!(eval.ranges_evaluated, 1);
+        assert_eq!(eval.growth.unwrap().seed_count, 3);
+        // A cluster holding every seed has nothing to evaluate.
+        let full = Cluster {
+            range: "2001:db8::??".parse().unwrap(),
+            seed_count: 4,
+        };
+        let eval = evaluate_growth(&full, &t, ClusterMode::Loose, || 0);
+        assert!(eval.growth.is_none());
+        assert_eq!(eval.candidates, 0);
+        assert_eq!(eval.ranges_evaluated, 0);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Uniform bounded draws over caller-supplied word streams.
+//!
+//! The engine breaks exact growth ties "uniformly at random" (§5.4) in two
+//! places: the global best-growth selection (fed by the run's `StdRng`) and
+//! the per-cluster candidate scan (fed by a per-cluster SplitMix64 stream
+//! so parallel evaluation stays deterministic). Both sites draw through
+//! [`bounded_draw`] so they share one sampling method with the same bias
+//! guarantees.
+
+/// Draws a uniformly distributed value in `[0, bound)` from a stream of
+/// `u64` words, using Lemire's multiply-shift method with rejection.
+///
+/// A word `x` maps to `(x * bound) >> 64`; draws whose low 64 product bits
+/// fall below `2^64 mod bound` land in over-represented slices and are
+/// rejected, which makes the accepted draws exactly uniform. Plain
+/// `word % bound` (the old tie-break) and bare multiply-shift both carry a
+/// bias of order `bound / 2^64` toward low values.
+///
+/// Rejection is capped at 64 attempts so a degenerate stream (e.g. a
+/// constant closure in tests) cannot loop forever; after the cap the last
+/// multiply-shift value is returned. For a uniform word stream the cap is
+/// hit with probability at most `(bound / 2^64)^64` — never in practice —
+/// so the draw remains unbiased for all real streams while still
+/// terminating on adversarial ones.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn bounded_draw(mut next_word: impl FnMut() -> u64, bound: u64) -> u64 {
+    assert!(bound > 0, "bounded_draw requires a nonzero bound");
+    // 2^64 mod bound, computed without 128-bit arithmetic: the low product
+    // bits must reach this threshold for the draw to be exactly uniform.
+    let threshold = bound.wrapping_neg() % bound;
+    let mut last = 0;
+    for _ in 0..64 {
+        let m = u128::from(next_word()) * u128::from(bound);
+        last = (m >> 64) as u64;
+        if (m as u64) >= threshold {
+            return last;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut state = 0x1234_5678_u64;
+        let mut word = || {
+            state = crate::engine::splitmix64(state);
+            state
+        };
+        for bound in [1, 2, 3, 7, 10, 255, 1 << 40, u64::MAX] {
+            for _ in 0..200 {
+                assert!(bounded_draw(&mut word, bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_one_is_always_zero() {
+        let mut n = 0u64;
+        let mut word = || {
+            n = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            n
+        };
+        for _ in 0..50 {
+            assert_eq!(bounded_draw(&mut word, 1), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_over_small_bound() {
+        // A chi-square-free sanity check: each of 8 cells gets roughly
+        // 1/8 of 80_000 draws from a SplitMix64 stream.
+        let mut state = 42u64;
+        let mut word = || {
+            state = crate::engine::splitmix64(state);
+            state
+        };
+        let mut cells = [0u64; 8];
+        for _ in 0..80_000 {
+            cells[bounded_draw(&mut word, 8) as usize] += 1;
+        }
+        for &c in &cells {
+            assert!((9_000..11_000).contains(&c), "cells skewed: {cells:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_constant_stream_terminates() {
+        // A constant 0 stream rejects forever for bounds that do not divide
+        // 2^64; the cap must kick in and return the multiply-shift value.
+        assert_eq!(bounded_draw(|| 0, 3), 0);
+        assert_eq!(bounded_draw(|| 0, 5), 0);
+        assert_eq!(bounded_draw(|| u64::MAX, 7), 6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_stream() {
+        let draw = |seed: u64, bound: u64| {
+            let mut state = seed;
+            let mut word = || {
+                state = crate::engine::splitmix64(state);
+                state
+            };
+            bounded_draw(&mut word, bound)
+        };
+        for seed in 0..20 {
+            assert_eq!(draw(seed, 13), draw(seed, 13));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bound")]
+    fn zero_bound_panics() {
+        bounded_draw(|| 1, 0);
+    }
+}

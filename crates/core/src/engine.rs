@@ -1,13 +1,16 @@
 //! The 6Gen engine: Algorithm 1's main loop with the §5.5 optimizations.
 
 use crate::budget::{BudgetTracker, Charge};
-use crate::cluster::{best_growth, Cluster, Growth};
+use crate::cluster::{evaluate_growth, Cluster, Growth};
+use crate::draw::bounded_draw;
 use crate::outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
 use crate::Config;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sixgen_addr::{NybbleAddr, NybbleTree};
+use sixgen_obs::{Counter, Histogram, MetricsRegistry, PhaseTimer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cached best growth for one cluster.
@@ -29,6 +32,66 @@ enum Cached {
 struct Slot {
     cluster: Cluster,
     cached: Cached,
+}
+
+/// Metric handles for one engine run, fetched from the registry once up
+/// front so hot-loop recording never touches the registry mutex. All
+/// handles are atomics, so parallel growth workers record freely.
+///
+/// Candidate/range histograms and the re-exported `RunStats` counters are
+/// deterministic (pure functions of seeds + config); phase timers and the
+/// growth-evaluation latency histogram are wall-clock and live in the
+/// export's timing section. Counters accumulate, so several runs sharing
+/// one registry (e.g. the bench pipeline's per-prefix runs) report
+/// aggregate totals.
+#[derive(Debug)]
+struct EngineMetrics {
+    cache_fill: Arc<PhaseTimer>,
+    select: Arc<PhaseTimer>,
+    commit: Arc<PhaseTimer>,
+    subsume: Arc<PhaseTimer>,
+    candidate_set_size: Arc<Histogram>,
+    ranges_evaluated: Arc<Histogram>,
+    growth_eval: Arc<Histogram>,
+    growths: Arc<Counter>,
+    subsumed: Arc<Counter>,
+    budget_used: Arc<Counter>,
+    budget: Arc<Counter>,
+    seed_count: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    runs: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry) -> EngineMetrics {
+        EngineMetrics {
+            cache_fill: registry.phase("engine/cache_fill"),
+            select: registry.phase("engine/select"),
+            commit: registry.phase("engine/commit"),
+            subsume: registry.phase("engine/subsume"),
+            candidate_set_size: registry.histogram("engine/candidate_set_size"),
+            ranges_evaluated: registry.histogram("engine/ranges_evaluated"),
+            growth_eval: registry.time_histogram("engine/growth_eval"),
+            growths: registry.counter("engine/growths"),
+            subsumed: registry.counter("engine/subsumed"),
+            budget_used: registry.counter("engine/budget_used"),
+            budget: registry.counter("engine/budget"),
+            seed_count: registry.counter("engine/seed_count"),
+            worker_panics: registry.counter("engine/worker_panics"),
+            runs: registry.counter("engine/runs"),
+        }
+    }
+
+    /// Re-exports the final [`RunStats`] counters through the registry.
+    fn export_stats(&self, stats: &RunStats) {
+        self.growths.add(stats.growths);
+        self.subsumed.add(stats.subsumed);
+        self.budget_used.add(stats.budget_used);
+        self.budget.add(stats.budget);
+        self.seed_count.add(stats.seed_count);
+        self.worker_panics.add(stats.worker_panics);
+        self.runs.inc();
+    }
 }
 
 /// A configured 6Gen run over a set of seeds.
@@ -74,6 +137,7 @@ impl SixGen {
         let mut stats_growths: u64 = 0;
         let mut stats_subsumed: u64 = 0;
         let mut stats_worker_panics: u64 = 0;
+        let metrics = self.config.metrics.as_deref().map(EngineMetrics::new);
 
         let finish = |slots: Vec<Slot>,
                       budget: BudgetTracker,
@@ -93,20 +157,24 @@ impl SixGen {
                 .collect();
             let budget_total = budget.budget();
             let budget_used = budget.used();
+            let stats = RunStats {
+                growths,
+                subsumed,
+                budget_used,
+                budget: budget_total,
+                seed_count: total_seeds,
+                wall_time: started.elapsed(),
+                cpu_time,
+                worker_panics,
+                termination,
+            };
+            if let Some(m) = &metrics {
+                m.export_stats(&stats);
+            }
             Outcome {
                 targets: TargetSet::from_ordered(budget.into_targets()),
                 clusters,
-                stats: RunStats {
-                    growths,
-                    subsumed,
-                    budget_used,
-                    budget: budget_total,
-                    seed_count: total_seeds,
-                    wall_time: started.elapsed(),
-                    cpu_time,
-                    worker_panics,
-                    termination,
-                },
+                stats,
             }
         };
 
@@ -147,7 +215,12 @@ impl SixGen {
         }
 
         loop {
-            cpu_time += self.fill_caches(&mut slots, &mut stats_worker_panics);
+            let phase_started = Instant::now();
+            cpu_time +=
+                self.fill_caches(&mut slots, &mut stats_worker_panics, metrics.as_ref());
+            if let Some(m) = &metrics {
+                m.cache_fill.record(phase_started.elapsed());
+            }
 
             // Deadline check (once per iteration, after cache refresh): a
             // run cut short here is still a valid partial result because
@@ -170,6 +243,7 @@ impl SixGen {
             // Select the globally best cached growth: maximum density, then
             // smallest range, then uniformly at random among exact ties
             // (reservoir over scan order keeps this deterministic).
+            let phase_started = Instant::now();
             let mut best_index: Option<usize> = None;
             let mut ties: u64 = 0;
             for (i, slot) in slots.iter().enumerate() {
@@ -192,7 +266,7 @@ impl SixGen {
                             }
                             core::cmp::Ordering::Equal => {
                                 ties += 1;
-                                if rng.gen_range(0..ties) == 0 {
+                                if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
                                     best_index = Some(i);
                                 }
                             }
@@ -200,6 +274,9 @@ impl SixGen {
                         }
                     }
                 }
+            }
+            if let Some(m) = &metrics {
+                m.select.record(phase_started.elapsed());
             }
             let Some(grown_index) = best_index else {
                 // Every cluster contains all seeds: nothing can grow.
@@ -254,6 +331,7 @@ impl SixGen {
             // Commit: charge the budget, adopt the grown range, invalidate
             // this cluster's cache, and delete clusters subsumed by the new
             // range (§5.4).
+            let phase_started = Instant::now();
             let growth = growth.clone();
             let charge = budget.charge(&growth.range, &mut rng);
             debug_assert!(matches!(charge, Charge::Committed { .. }));
@@ -266,6 +344,10 @@ impl SixGen {
                 },
                 cached: Cached::Stale,
             };
+            if let Some(m) = &metrics {
+                m.commit.record(phase_started.elapsed());
+            }
+            let phase_started = Instant::now();
             let before = slots.len();
             let mut index = 0;
             slots.retain(|slot| {
@@ -274,6 +356,9 @@ impl SixGen {
                 keep
             });
             stats_subsumed += (before - slots.len()) as u64;
+            if let Some(m) = &metrics {
+                m.subsume.record(phase_started.elapsed());
+            }
         }
     }
 
@@ -287,7 +372,12 @@ impl SixGen {
     /// cluster that panics again is written off as [`Cached::Exhausted`]
     /// (it simply stops growing) so one poisoned cluster cannot abort the
     /// whole run.
-    fn fill_caches(&self, slots: &mut [Slot], worker_panics: &mut u64) -> Duration {
+    fn fill_caches(
+        &self,
+        slots: &mut [Slot],
+        worker_panics: &mut u64,
+        metrics: Option<&EngineMetrics>,
+    ) -> Duration {
         let stale: Vec<usize> = slots
             .iter()
             .enumerate()
@@ -306,7 +396,7 @@ impl SixGen {
         if threads <= 1 || stale.len() < 64 {
             let start = Instant::now();
             for &i in &stale {
-                slots[i].cached = self.compute_growth(&slots[i].cluster, false);
+                slots[i].cached = self.compute_growth(&slots[i].cluster, false, metrics);
             }
             return start.elapsed();
         }
@@ -334,7 +424,7 @@ impl SixGen {
                             .map(|(i, cluster)| {
                                 let cached =
                                     catch_unwind(AssertUnwindSafe(|| {
-                                        self.compute_growth(cluster, true)
+                                        self.compute_growth(cluster, true, metrics)
                                     }))
                                     .ok();
                                 (*i, cached)
@@ -371,9 +461,10 @@ impl SixGen {
         for i in failed {
             *worker_panics += 1;
             let start = Instant::now();
-            slots[i].cached =
-                catch_unwind(AssertUnwindSafe(|| self.compute_growth(&slots[i].cluster, false)))
-                    .unwrap_or(Cached::Exhausted);
+            slots[i].cached = catch_unwind(AssertUnwindSafe(|| {
+                self.compute_growth(&slots[i].cluster, false, metrics)
+            }))
+            .unwrap_or(Cached::Exhausted);
             cpu += start.elapsed();
         }
         cpu
@@ -381,7 +472,17 @@ impl SixGen {
 
     /// Computes one cluster's best growth with a deterministic per-cluster
     /// tie-break stream derived from the run seed and the cluster's range.
-    fn compute_growth(&self, cluster: &Cluster, parallel_worker: bool) -> Cached {
+    ///
+    /// With metrics enabled, records the candidate-set size and distinct
+    /// ranges evaluated (deterministic — histogram totals are identical
+    /// regardless of worker scheduling, since atomic adds commute) and the
+    /// evaluation's wall-clock latency (timing section).
+    fn compute_growth(
+        &self,
+        cluster: &Cluster,
+        parallel_worker: bool,
+        metrics: Option<&EngineMetrics>,
+    ) -> Cached {
         if let Some(injection) = &self.config.panic_injection {
             if cluster.range.size() == injection.range_size
                 && (parallel_worker || !injection.parallel_only)
@@ -389,6 +490,7 @@ impl SixGen {
                 panic!("injected growth panic (test hook)");
             }
         }
+        let started = Instant::now();
         let mut state = splitmix64_seed(
             self.config.rng_seed,
             cluster.range.min_address().bits(),
@@ -398,7 +500,13 @@ impl SixGen {
             state = splitmix64(state);
             state
         };
-        match best_growth(cluster, &self.tree, self.config.mode, tie_break) {
+        let eval = evaluate_growth(cluster, &self.tree, self.config.mode, tie_break);
+        if let Some(m) = metrics {
+            m.candidate_set_size.record(eval.candidates);
+            m.ranges_evaluated.record(eval.ranges_evaluated);
+            m.growth_eval.record_duration(started.elapsed());
+        }
+        match eval.growth {
             Some(growth) => Cached::Ready(growth),
             None => Cached::Exhausted,
         }
@@ -810,6 +918,57 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes[0].targets.len() >= 3);
         assert_eq!(outcomes[1].targets.len(), 2);
+    }
+
+    #[test]
+    fn metrics_observe_without_perturbing() {
+        let seeds = parallel_test_seeds();
+        let bare = SixGen::new(seeds.clone(), Config::with_budget(2000)).run();
+        let registry = MetricsRegistry::shared();
+        let instrumented = SixGen::new(
+            seeds,
+            Config {
+                metrics: Some(Arc::clone(&registry)),
+                ..Config::with_budget(2000)
+            },
+        )
+        .run();
+        // Instrumentation must not change the algorithm.
+        assert_eq!(bare.targets.as_slice(), instrumented.targets.as_slice());
+        assert_eq!(bare.stats.growths, instrumented.stats.growths);
+        // RunStats counters are re-exported through the registry.
+        assert_eq!(
+            registry.counter("engine/growths").get(),
+            instrumented.stats.growths
+        );
+        assert_eq!(
+            registry.counter("engine/budget_used").get(),
+            instrumented.stats.budget_used
+        );
+        assert_eq!(registry.counter("engine/runs").get(), 1);
+        // Phases ran and candidate sizes were recorded.
+        assert!(registry.phase("engine/cache_fill").count() > 0);
+        assert!(registry.histogram("engine/candidate_set_size").count() > 0);
+    }
+
+    #[test]
+    fn metrics_deterministic_section_is_stable_across_runs_and_threads() {
+        let seeds = parallel_test_seeds();
+        let section = |threads: usize| {
+            let registry = MetricsRegistry::shared();
+            SixGen::new(
+                seeds.clone(),
+                Config {
+                    threads,
+                    metrics: Some(Arc::clone(&registry)),
+                    ..Config::with_budget(2000)
+                },
+            )
+            .run();
+            registry.deterministic_json()
+        };
+        assert_eq!(section(1), section(1), "repeated serial runs");
+        assert_eq!(section(1), section(4), "serial vs parallel");
     }
 
     #[test]

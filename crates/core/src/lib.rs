@@ -48,12 +48,14 @@
 pub mod adaptive;
 mod budget;
 mod cluster;
+mod draw;
 mod engine;
 mod outcome;
 
 pub use adaptive::{adaptive_scan, AdaptiveConfig, AdaptiveOutcome, RegionFate, RegionReport};
 pub use budget::{BudgetTracker, Charge};
-pub use cluster::{best_growth, Cluster, Growth};
+pub use cluster::{best_growth, evaluate_growth, Cluster, Growth, GrowthEvaluation};
+pub use draw::bounded_draw;
 pub use engine::{run, run_grouped, SixGen};
 pub use outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
 
@@ -94,6 +96,13 @@ pub struct Config {
     /// onward) and all targets generated so far are emitted. `None` (the
     /// default) runs to completion.
     pub time_limit: Option<std::time::Duration>,
+    /// Optional metrics registry. When set, the engine records per-phase
+    /// wall time (cache fill, selection, commit, subsumption), histograms
+    /// of candidate-set sizes and growth-evaluation latencies, and
+    /// re-exports the [`RunStats`] counters under `engine/*` names at the
+    /// end of the run. Metrics only observe — they never perturb the
+    /// algorithm, so instrumented and bare runs produce identical targets.
+    pub metrics: Option<std::sync::Arc<sixgen_obs::MetricsRegistry>>,
     /// Test hook: deterministic growth-worker panic injection. Not part of
     /// the stable API.
     #[doc(hidden)]
@@ -122,6 +131,7 @@ impl Default for Config {
             threads: 1,
             rng_seed: 0x6CE4,
             time_limit: None,
+            metrics: None,
             panic_injection: None,
         }
     }

@@ -83,6 +83,12 @@ pub trait FaultModel: fmt::Debug + Send {
 
     /// Clones the model into a fresh box (object-safe `Clone`).
     fn clone_box(&self) -> Box<dyn FaultModel>;
+
+    /// Stable short name for metrics keys (`prober/fault/<name>/...`).
+    /// Two models with the same name in one stack share counters.
+    fn name(&self) -> &'static str {
+        "fault"
+    }
 }
 
 impl Clone for Box<dyn FaultModel> {
@@ -171,6 +177,10 @@ impl FaultModel for UniformLoss {
 
     fn clone_box(&self) -> Box<dyn FaultModel> {
         Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform_loss"
     }
 }
 
@@ -283,6 +293,10 @@ impl FaultModel for GilbertElliott {
     fn clone_box(&self) -> Box<dyn FaultModel> {
         Box::new(self.clone())
     }
+
+    fn name(&self) -> &'static str {
+        "gilbert_elliott"
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -368,6 +382,10 @@ impl FaultModel for IcmpRateLimit {
     fn clone_box(&self) -> Box<dyn FaultModel> {
         Box::new(self.clone())
     }
+
+    fn name(&self) -> &'static str {
+        "icmp_rate_limit"
+    }
 }
 
 /// Blackholed regions: every probe into a listed prefix vanishes (filtered
@@ -395,6 +413,10 @@ impl FaultModel for Blackhole {
 
     fn clone_box(&self) -> Box<dyn FaultModel> {
         Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "blackhole"
     }
 }
 
@@ -425,6 +447,10 @@ impl FaultModel for AliasedResponder {
 
     fn clone_box(&self) -> Box<dyn FaultModel> {
         Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "aliased_responder"
     }
 }
 

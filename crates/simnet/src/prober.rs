@@ -16,7 +16,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sixgen_addr::NybbleAddr;
+use sixgen_obs::{Counter, MetricsRegistry};
+use std::sync::Arc;
 use std::time::Duration;
+
+const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// When and how lost probes are retransmitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +68,11 @@ pub struct ProbeConfig {
     /// prober's lifetime; once spent, lost probes are not retried. `None`
     /// means unbounded.
     pub retransmit_budget: Option<u64>,
+    /// Optional metrics registry. When set, the prober records packet,
+    /// response, retransmission, and virtual-backoff counters plus a
+    /// per-fault-model action breakdown under `prober/*` names. All prober
+    /// metrics are virtual-time quantities and therefore deterministic.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ProbeConfig {
@@ -76,6 +85,7 @@ impl Default for ProbeConfig {
             faults: Vec::new(),
             retry: RetryPolicy::Immediate,
             retransmit_budget: None,
+            metrics: None,
         }
     }
 }
@@ -141,6 +151,49 @@ impl ScanResult {
     }
 }
 
+/// Pre-registered metric handles for one prober (see
+/// [`ProbeConfig::metrics`]). `fault_actions[i]` holds the
+/// `[pass, answer, drop]` counters for `faults[i]`.
+#[derive(Debug)]
+struct ProbeMetrics {
+    packets_sent: Arc<Counter>,
+    responses: Arc<Counter>,
+    retransmits: Arc<Counter>,
+    backoff_ns: Arc<Counter>,
+    fault_actions: Vec<[Arc<Counter>; 3]>,
+}
+
+impl ProbeMetrics {
+    fn new(registry: &MetricsRegistry, faults: &[Box<dyn FaultModel>]) -> ProbeMetrics {
+        ProbeMetrics {
+            packets_sent: registry.counter("prober/packets_sent"),
+            responses: registry.counter("prober/responses"),
+            retransmits: registry.counter("prober/retransmits"),
+            backoff_ns: registry.counter("prober/backoff_ns"),
+            fault_actions: faults
+                .iter()
+                .map(|model| {
+                    let name = model.name();
+                    [
+                        registry.counter(&format!("prober/fault/{name}/pass")),
+                        registry.counter(&format!("prober/fault/{name}/answer")),
+                        registry.counter(&format!("prober/fault/{name}/drop")),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    fn record_action(&self, model_index: usize, action: FaultAction) {
+        let slot = match action {
+            FaultAction::Pass => 0,
+            FaultAction::Answer => 1,
+            FaultAction::Drop => 2,
+        };
+        self.fault_actions[model_index][slot].inc();
+    }
+}
+
 /// A scanner bound to a simulated Internet.
 #[derive(Debug)]
 pub struct Prober<'a> {
@@ -151,8 +204,24 @@ pub struct Prober<'a> {
     faults: Vec<Box<dyn FaultModel>>,
     rng: StdRng,
     stats: ProbeStats,
+    /// Accumulated transmit time: exactly `floor(packets_sent × 10⁹ /
+    /// rate_pps)` nanoseconds, maintained incrementally in integers so the
+    /// virtual clock never drifts (the old per-probe
+    /// `packets_sent as f64 / rate_pps` recomputation accumulated f64
+    /// rounding error on long scans and paid a division per packet).
+    transmit: Duration,
+    /// Sub-nanosecond remainder of the transmit clock, in units of
+    /// `1/rate_pps` ns. Invariant: `transmit_rem < rate_pps`.
+    transmit_rem: u64,
+    /// Whole nanoseconds each packet adds to the clock
+    /// (`10⁹ / rate_pps`).
+    nanos_per_packet: u64,
+    /// Remainder each packet adds to `transmit_rem`
+    /// (`10⁹ mod rate_pps`).
+    nanos_rem_per_packet: u64,
     /// Accumulated virtual backoff waits.
     backoff: Duration,
+    metrics: Option<ProbeMetrics>,
 }
 
 impl<'a> Prober<'a> {
@@ -170,13 +239,24 @@ impl<'a> Prober<'a> {
         }
         faults.append(&mut config.faults);
         let rng = StdRng::seed_from_u64(config.rng_seed);
+        let metrics = config
+            .metrics
+            .as_deref()
+            .map(|registry| ProbeMetrics::new(registry, &faults));
+        let nanos_per_packet = NANOS_PER_SEC / config.rate_pps;
+        let nanos_rem_per_packet = NANOS_PER_SEC % config.rate_pps;
         Ok(Prober {
             internet,
             config,
             faults,
             rng,
             stats: ProbeStats::default(),
+            transmit: Duration::ZERO,
+            transmit_rem: 0,
+            nanos_per_packet,
+            nanos_rem_per_packet,
             backoff: Duration::ZERO,
+            metrics,
         })
     }
 
@@ -184,8 +264,20 @@ impl<'a> Prober<'a> {
     /// at the configured rate, plus accumulated backoff waits. Fault models
     /// see this as [`ProbeContext::send_time`].
     fn virtual_now(&self) -> Duration {
-        Duration::from_secs_f64(self.stats.packets_sent as f64 / self.config.rate_pps as f64)
-            + self.backoff
+        self.transmit + self.backoff
+    }
+
+    /// Advances the transmit clock by one packet at the configured rate,
+    /// exactly: after `n` packets, `transmit == floor(n × 10⁹ / rate_pps)`
+    /// nanoseconds.
+    fn advance_transmit_clock(&mut self) {
+        self.transmit += Duration::from_nanos(self.nanos_per_packet);
+        self.transmit_rem += self.nanos_rem_per_packet;
+        if self.transmit_rem >= self.config.rate_pps {
+            // Both addends are < rate_pps, so a single carry suffices.
+            self.transmit_rem -= self.config.rate_pps;
+            self.transmit += Duration::from_nanos(1);
+        }
     }
 
     /// Probes one address once (plus configured retries). Returns whether a
@@ -207,9 +299,17 @@ impl<'a> Prober<'a> {
                     }
                 }
                 self.stats.retransmits += 1;
+                if let Some(m) = &self.metrics {
+                    m.retransmits.inc();
+                }
                 if let RetryPolicy::ExponentialBackoff { base, cap } = self.config.retry {
                     let doubling = (attempt - 1).min(20);
-                    self.backoff += base.saturating_mul(1 << doubling).min(cap);
+                    let wait = base.saturating_mul(1 << doubling).min(cap);
+                    self.backoff += wait;
+                    if let Some(m) = &self.metrics {
+                        m.backoff_ns
+                            .add(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+                    }
                 }
             }
             let ctx = ProbeContext {
@@ -221,19 +321,33 @@ impl<'a> Prober<'a> {
                 responsive,
             };
             self.stats.packets_sent += 1;
+            self.advance_transmit_clock();
+            if let Some(m) = &self.metrics {
+                m.packets_sent.inc();
+            }
             let mut action = FaultAction::Pass;
-            for model in &mut self.faults {
-                action = action.combine(model.apply(&ctx, &mut self.rng));
+            for (index, model) in self.faults.iter_mut().enumerate() {
+                let verdict = model.apply(&ctx, &mut self.rng);
+                if let Some(m) = &self.metrics {
+                    m.record_action(index, verdict);
+                }
+                action = action.combine(verdict);
             }
             match action {
                 FaultAction::Drop => continue,
                 FaultAction::Answer => {
                     self.stats.responses += 1;
+                    if let Some(m) = &self.metrics {
+                        m.responses.inc();
+                    }
                     return true;
                 }
                 FaultAction::Pass => {
                     if responsive {
                         self.stats.responses += 1;
+                        if let Some(m) = &self.metrics {
+                            m.responses.inc();
+                        }
                         return true;
                     }
                     // An unresponsive address never answers; remaining
@@ -508,6 +622,119 @@ mod tests {
             );
         }
         assert_eq!(p.simulated_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn virtual_clock_is_exact_at_large_packet_counts() {
+        // rate 3 pps: 10⁹/3 ns per packet does not divide evenly, the case
+        // where the old f64 clock (packets_sent / rate_pps recomputed per
+        // probe) drifted. The integer clock must be exactly
+        // floor(n × 10⁹ / 3) ns at every checkpoint.
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                rate_pps: 3,
+                ..ProbeConfig::default()
+            },
+        );
+        let dead = a("2001:db8::dead");
+        let mut sent: u128 = 0;
+        for checkpoint in [1u64, 2, 3, 100, 9999, 100_000, 250_000] {
+            while sent < checkpoint as u128 {
+                p.probe(dead, 80);
+                sent += 1;
+            }
+            let expected = Duration::from_nanos(((sent * 1_000_000_000) / 3) as u64);
+            assert_eq!(
+                p.simulated_duration(),
+                expected,
+                "drift after {sent} packets"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_clock_carry_rollover() {
+        // rate 7 pps: remainder accumulation must carry a whole nanosecond
+        // exactly when it crosses the rate, never sooner or later.
+        let net = internet();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                rate_pps: 7,
+                ..ProbeConfig::default()
+            },
+        );
+        for n in 1u64..=1000 {
+            p.probe(a("2001:db8::dead"), 80);
+            let expected = Duration::from_nanos(n * 1_000_000_000 / 7);
+            assert_eq!(p.simulated_duration(), expected, "after {n} packets");
+        }
+    }
+
+    #[test]
+    fn metrics_record_packets_and_fault_actions() {
+        let net = internet();
+        let registry = MetricsRegistry::shared();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                retries: 3,
+                faults: vec![Box::new(Blackhole::new(vec![
+                    "2001:db8::/127".parse().unwrap() // covers ::0 and ::1 only
+                ]))],
+                retry: RetryPolicy::ExponentialBackoff {
+                    base: Duration::from_millis(100),
+                    cap: Duration::from_secs(1),
+                },
+                metrics: Some(Arc::clone(&registry)),
+                ..ProbeConfig::default()
+            },
+        );
+        // Live host inside the blackhole: all 4 attempts dropped.
+        assert!(!p.probe(a("2001:db8::1"), 80));
+        // Live host outside: answered on the first attempt.
+        assert!(p.probe(a("2001:db8::2"), 80));
+        let stats = p.stats();
+        assert_eq!(registry.counter("prober/packets_sent").get(), stats.packets_sent);
+        assert_eq!(registry.counter("prober/responses").get(), stats.responses);
+        assert_eq!(registry.counter("prober/retransmits").get(), stats.retransmits);
+        assert_eq!(registry.counter("prober/fault/blackhole/drop").get(), 4);
+        assert_eq!(registry.counter("prober/fault/blackhole/pass").get(), 1);
+        assert_eq!(registry.counter("prober/fault/blackhole/answer").get(), 0);
+        // Backoff counter equals the virtual waits: 100 + 200 + 400 ms.
+        assert_eq!(
+            registry.counter("prober/backoff_ns").get(),
+            Duration::from_millis(700).as_nanos() as u64
+        );
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_scans() {
+        let net = internet();
+        let targets: Vec<NybbleAddr> = (0..60u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let run = |metrics: Option<Arc<MetricsRegistry>>| {
+            let mut p = prober(
+                &net,
+                ProbeConfig {
+                    loss: 0.3,
+                    retries: 1,
+                    faults: bursty_stack(),
+                    metrics,
+                    ..ProbeConfig::default()
+                },
+            );
+            p.scan(targets.clone(), 80)
+        };
+        let registry = MetricsRegistry::shared();
+        assert_eq!(run(None), run(Some(Arc::clone(&registry))));
+        // And the deterministic export is identical across repeat runs.
+        let again = MetricsRegistry::shared();
+        run(Some(Arc::clone(&again)));
+        assert_eq!(registry.deterministic_json(), again.deterministic_json());
     }
 
     #[test]

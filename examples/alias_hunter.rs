@@ -80,10 +80,17 @@ fn main() {
         },
         &mut rng,
     );
-    let (grouped, _) = internet.table().group_by_prefix(seeds.iter().map(|r| r.addr));
+    let (mut grouped, _) = internet.table().group_by_prefix(seeds.iter().map(|r| r.addr));
     let mut prober = Prober::new(&internet, ProbeConfig::default()).expect("valid probe config");
     let mut hits = Vec::new();
-    for (_, prefix_seeds) in grouped {
+    // Scan prefixes in sorted order: HashMap iteration order varies across
+    // runs, and the prober's RNG state carries over between scans, so an
+    // unsorted walk would make hit counts nondeterministic despite the
+    // fixed seeds.
+    let mut prefixes: Vec<Prefix> = grouped.keys().copied().collect();
+    prefixes.sort();
+    for prefix in prefixes {
+        let prefix_seeds = grouped.remove(&prefix).expect("listed prefix");
         let outcome = SixGen::new(prefix_seeds, Config::with_budget(30_000)).run();
         hits.extend(prober.scan(outcome.targets.iter(), 80).hits);
     }

@@ -30,12 +30,14 @@ use sixgen::core::{ClusterMode, Config, SixGen};
 use sixgen::datasets::io::{read_hitlist_file, write_hitlist_binary_file, write_hitlist_file};
 use sixgen::datasets::split_groups;
 use sixgen::entropy_ip::{entropy_profile, EntropyIpConfig, EntropyIpModel};
+use sixgen::obs::MetricsRegistry;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)"
+        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR] [--metrics-out FILE]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR] [--metrics-out FILE]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)\n--metrics-out: write engine/prober metrics as JSON (deterministic + timing sections)"
     );
     ExitCode::from(2)
 }
@@ -58,6 +60,7 @@ struct Cli {
     backoff: Option<std::time::Duration>,
     retransmit_budget: Option<u64>,
     rate_pps: u64,
+    metrics_out: Option<PathBuf>,
 }
 
 /// Parses a human duration: plain seconds (`30`), or with a `ms`/`s`/`m`/`h`
@@ -100,6 +103,7 @@ fn parse(args: &[String]) -> Option<Cli> {
         backoff: None,
         retransmit_budget: None,
         rate_pps: 100_000,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -127,6 +131,7 @@ fn parse(args: &[String]) -> Option<Cli> {
             "--backoff" => cli.backoff = Some(parse_duration(it.next()?)?),
             "--retransmit-budget" => cli.retransmit_budget = Some(it.next()?.parse().ok()?),
             "--rate-pps" => cli.rate_pps = it.next()?.parse().ok()?,
+            "--metrics-out" => cli.metrics_out = Some(PathBuf::from(it.next()?)),
             _ => return None,
         }
     }
@@ -158,8 +163,24 @@ fn write_targets(cli: &Cli, targets: &[NybbleAddr]) -> Result<(), String> {
     Ok(())
 }
 
+/// Creates a registry when `--metrics-out` was given.
+fn metrics_registry(cli: &Cli) -> Option<Arc<MetricsRegistry>> {
+    cli.metrics_out.as_ref().map(|_| MetricsRegistry::shared())
+}
+
+/// Writes the registry JSON to the `--metrics-out` path, if both are set.
+fn write_metrics(cli: &Cli, registry: &Option<Arc<MetricsRegistry>>) -> Result<(), String> {
+    if let (Some(path), Some(registry)) = (&cli.metrics_out, registry) {
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_generate(cli: &Cli) -> Result<(), String> {
     let seeds = load_seeds(cli)?;
+    let metrics = metrics_registry(cli);
     let outcome = SixGen::new(
         seeds,
         Config {
@@ -168,6 +189,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
             threads: 0,
             rng_seed: cli.rng_seed,
             time_limit: cli.time_limit,
+            metrics: metrics.clone(),
             ..Config::default()
         },
     )
@@ -179,6 +201,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
         outcome.clusters.len(),
         outcome.stats.termination,
     );
+    write_metrics(cli, &metrics)?;
     write_targets(cli, outcome.targets.as_slice())
 }
 
@@ -273,6 +296,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         },
         None => RetryPolicy::Immediate,
     };
+    let metrics = metrics_registry(cli);
     let probe_config = ProbeConfig {
         loss: cli.loss,
         retries: cli.retries,
@@ -281,6 +305,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         faults,
         retry,
         retransmit_budget: cli.retransmit_budget,
+        metrics: metrics.clone(),
     };
     // Reject a bad scanner config before spending time on generation.
     probe_config.validate().map_err(|e| e.to_string())?;
@@ -321,6 +346,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
             threads: 0,
             rng_seed: cli.rng_seed,
             time_limit: cli.time_limit,
+            metrics: metrics.clone(),
             ..Config::default()
         },
     )
@@ -356,7 +382,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         result.hits.len(),
         result.hits.len() as f64 / internet.active_host_count().max(1) as f64 * 100.0,
     );
-    Ok(())
+    write_metrics(cli, &metrics)
 }
 
 fn main() -> ExitCode {

@@ -14,6 +14,7 @@ pub use sixgen_baselines as baselines;
 pub use sixgen_core as core;
 pub use sixgen_datasets as datasets;
 pub use sixgen_entropy_ip as entropy_ip;
+pub use sixgen_obs as obs;
 pub use sixgen_report as report;
 pub use sixgen_routing as routing;
 pub use sixgen_simnet as simnet;
