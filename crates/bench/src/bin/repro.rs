@@ -31,6 +31,11 @@
 //!   --threads <n>    6Gen worker threads, 0=auto  (default 0)
 //!   --quick          reduced sweeps for smoke runs
 //!   --metrics-out <file>  write the aggregated metrics registry as JSON
+//!                         (a `.prom` extension selects Prometheus text
+//!                         exposition instead)
+//!   --trace-out <file>    write a Chrome trace-event JSON of the run
+//!                         (loadable in Perfetto / chrome://tracing)
+//!   --trace-summary       print a per-span-kind self-time summary table
 //! ```
 
 use sixgen_bench::experiments::{
@@ -39,28 +44,50 @@ use sixgen_bench::experiments::{
     ExperimentOptions,
 };
 use sixgen_bench::trajectory;
-use sixgen_obs::MetricsRegistry;
+use sixgen_obs::{maybe_span, MetricsRegistry, SpanId, TraceSink};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
-         [--metrics-out FILE] \
+         [--metrics-out FILE[.prom]] [--trace-out FILE] [--trace-summary] \
          <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|all>..."
     );
     std::process::exit(2);
+}
+
+/// Maps a user-supplied experiment name onto the identical `'static`
+/// string, for use as a span name (span names must be `&'static str` so
+/// recording never allocates).
+fn static_name(name: &str) -> &'static str {
+    const NAMES: &[&str] = &[
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+        "tight", "hosttype", "dealias", "adaptive", "budgetpolicy", "eipranked", "faults",
+        "trajectory", "all",
+    ];
+    NAMES
+        .iter()
+        .find(|&&n| n == name)
+        .copied()
+        .unwrap_or("experiment")
 }
 
 fn main() {
     let mut opts = ExperimentOptions::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_summary = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-out" => {
                 metrics_out = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
+            "--trace-summary" => trace_summary = true,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -94,8 +121,15 @@ fn main() {
     if metrics_out.is_some() {
         opts.metrics = Some(MetricsRegistry::shared());
     }
+    if trace_out.is_some() || trace_summary {
+        opts.trace = Some(TraceSink::shared());
+    }
 
     for name in &wanted {
+        // One root span per experiment; engine/prober/pipeline spans nest
+        // under whatever they create themselves (parented to their own run
+        // roots), so this mainly delimits experiments on the trace timeline.
+        let _span = maybe_span(opts.trace.as_deref(), "repro", static_name(name), SpanId::NONE);
         match name.as_str() {
             "fig2" => fig2_runtime::run(&opts),
             "fig3" | "table1" => {
@@ -130,8 +164,32 @@ fn main() {
         }
     }
     if let (Some(path), Some(registry)) = (&metrics_out, &opts.metrics) {
-        std::fs::write(path, registry.to_json()).expect("write metrics json");
-        eprintln!("metrics written to {}", path.display());
+        let prom = path.extension().is_some_and(|e| e == "prom");
+        let body = if prom {
+            registry.to_prometheus()
+        } else {
+            registry.to_json()
+        };
+        std::fs::write(path, body).expect("write metrics");
+        eprintln!(
+            "metrics written to {} ({})",
+            path.display(),
+            if prom { "prometheus" } else { "json" }
+        );
+    }
+    if let Some(sink) = &opts.trace {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, sink.to_chrome_json()).expect("write chrome trace");
+            eprintln!(
+                "trace written to {} ({} spans, {} dropped)",
+                path.display(),
+                sink.len(),
+                sink.dropped()
+            );
+        }
+        if trace_summary {
+            println!("\n{}", sink.render_summary());
+        }
     }
     experiments::banner_done(&opts);
 }

@@ -15,6 +15,7 @@
 use super::{banner, ExperimentOptions};
 use sixgen_addr::NybbleAddr;
 use sixgen_datasets::world::{build_world, WorldConfig};
+use sixgen_obs::MetricsRegistry;
 use sixgen_report::{group_digits, Series, TextTable};
 use sixgen_simnet::faults::{FaultModel, GilbertElliott, GilbertElliottConfig, IcmpRateLimit};
 use sixgen_simnet::{Internet, ProbeConfig, Prober, RetryPolicy, ScanResult};
@@ -42,15 +43,28 @@ fn stack(severity: u32) -> Vec<Box<dyn FaultModel>> {
     ]
 }
 
+/// Per-fault-model drop attribution for one scan, read back from the
+/// prober's `prober/fault/<model>/drop` counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct DropAttribution {
+    /// Packets dropped by the Gilbert–Elliott bursty-loss channel.
+    burst: u64,
+    /// Packets dropped by the per-/48 ICMP rate limiter.
+    rate_limit: u64,
+}
+
 /// Scans every active host once through the given retry policy and fault
-/// stack, all else equal.
+/// stack, all else equal. Each scan gets a private metrics registry so the
+/// fault counters attribute drops to exactly this scan.
 fn scan(
+    opts: &ExperimentOptions,
     internet: &Internet,
     targets: &[NybbleAddr],
     severity: u32,
     retry: RetryPolicy,
-) -> (ScanResult, u64, f64) {
+) -> (ScanResult, u64, f64, DropAttribution) {
     let budget = targets.len() as u64 * 3;
+    let registry = MetricsRegistry::shared();
     let mut prober = Prober::new(
         internet,
         ProbeConfig {
@@ -60,13 +74,19 @@ fn scan(
             faults: stack(severity),
             retry,
             retransmit_budget: Some(budget),
+            metrics: Some(registry.clone()),
+            trace: opts.trace.clone(),
             ..ProbeConfig::default()
         },
     )
     .expect("valid probe config");
     let result = prober.scan(targets.iter().copied(), 80);
     let duration = prober.simulated_duration().as_secs_f64();
-    (result, prober.stats().retransmits, duration)
+    let drops = DropAttribution {
+        burst: registry.counter("prober/fault/gilbert_elliott/drop").get(),
+        rate_limit: registry.counter("prober/fault/icmp_rate_limit/drop").get(),
+    };
+    (result, prober.stats().retransmits, duration, drops)
 }
 
 /// Runs the experiment.
@@ -95,6 +115,8 @@ pub fn run(opts: &ExperimentOptions) {
         "Adaptive hit rate",
         "Imm. retransmits",
         "Adpt. retransmits",
+        "Imm. burst/rl drops",
+        "Adpt. burst/rl drops",
         "Adpt. duration",
     ]);
     let mut series = Series::new(
@@ -105,12 +127,18 @@ pub fn run(opts: &ExperimentOptions) {
             "adaptive_hit_rate",
             "immediate_retransmits",
             "adaptive_retransmits",
+            "immediate_burst_drops",
+            "immediate_ratelimit_drops",
+            "adaptive_burst_drops",
+            "adaptive_ratelimit_drops",
         ],
     );
     let mut adaptive_never_worse = true;
     for &severity in severities {
-        let (imm, imm_rtx, _) = scan(&internet, &targets, severity, RetryPolicy::Immediate);
-        let (adpt, adpt_rtx, adpt_secs) = scan(
+        let (imm, imm_rtx, _, imm_drops) =
+            scan(opts, &internet, &targets, severity, RetryPolicy::Immediate);
+        let (adpt, adpt_rtx, adpt_secs, adpt_drops) = scan(
+            opts,
             &internet,
             &targets,
             severity,
@@ -126,6 +154,16 @@ pub fn run(opts: &ExperimentOptions) {
             format!("{:.1}%", adpt.hit_rate() * 100.0),
             group_digits(imm_rtx),
             group_digits(adpt_rtx),
+            format!(
+                "{}/{}",
+                group_digits(imm_drops.burst),
+                group_digits(imm_drops.rate_limit)
+            ),
+            format!(
+                "{}/{}",
+                group_digits(adpt_drops.burst),
+                group_digits(adpt_drops.rate_limit)
+            ),
             format!("{adpt_secs:.1}s"),
         ]);
         series.push(vec![
@@ -134,6 +172,10 @@ pub fn run(opts: &ExperimentOptions) {
             adpt.hit_rate(),
             imm_rtx as f64,
             adpt_rtx as f64,
+            imm_drops.burst as f64,
+            imm_drops.rate_limit as f64,
+            adpt_drops.burst as f64,
+            adpt_drops.rate_limit as f64,
         ]);
     }
     println!("{table}");

@@ -18,7 +18,7 @@ pub mod table1_ases;
 pub mod table2_downsampling;
 pub mod tight_vs_loose;
 
-use sixgen_obs::MetricsRegistry;
+use sixgen_obs::{MetricsRegistry, TraceSink};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -39,6 +39,10 @@ pub struct ExperimentOptions {
     /// the pipeline or the engine thread it through so one registry
     /// aggregates the whole invocation.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional trace sink (`repro --trace-out` / `--trace-summary`);
+    /// threaded into pipeline and engine runs like `metrics`, and used by
+    /// the `repro` driver to wrap each experiment in a span.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ExperimentOptions {
@@ -50,6 +54,7 @@ impl Default for ExperimentOptions {
             quick: false,
             threads: 0,
             metrics: None,
+            trace: None,
         }
     }
 }

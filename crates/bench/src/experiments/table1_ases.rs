@@ -54,6 +54,7 @@ pub fn run(opts: &ExperimentOptions) -> WorldRun {
         budget_per_prefix: opts.budget,
         threads: opts.threads,
         metrics: opts.metrics.clone(),
+        trace: opts.trace.clone(),
         ..WorldRunConfig::default()
     };
     let run = run_world(&cfg);

@@ -8,7 +8,7 @@ use sixgen_addr::{NybbleAddr, Prefix};
 use sixgen_core::{ClusterInfo, ClusterMode, Config, RunStats, SixGen};
 use sixgen_datasets::downsample;
 use sixgen_datasets::world::{build_world, WorldConfig};
-use sixgen_obs::MetricsRegistry;
+use sixgen_obs::{maybe_span, MetricsRegistry, SpanId, TraceSink};
 use sixgen_simnet::dealias::{detect_aliased, AliasReport, DealiasConfig};
 use sixgen_simnet::{HostKind, Internet, ProbeConfig, Prober, SeedExtraction};
 use std::collections::{HashMap, HashSet};
@@ -46,6 +46,10 @@ pub struct WorldRunConfig {
     /// the prober; the pipeline additionally records per-prefix runtime
     /// (`bench/prefix_run`) and scan/dealias probe counters.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional trace sink, shared with every per-prefix 6Gen run and the
+    /// prober. The pipeline records a `bench/run_world` root span and one
+    /// `bench/prefix_run` span per routed prefix nested under it.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for WorldRunConfig {
@@ -63,6 +67,7 @@ impl Default for WorldRunConfig {
             rng_seed: 0xEC0,
             refine_top_ases: 10,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -167,10 +172,16 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
         ProbeConfig {
             rng_seed: cfg.rng_seed ^ 0x5CA9,
             metrics: cfg.metrics.clone(),
+            trace: cfg.trace.clone(),
             ..ProbeConfig::default()
         },
     )
     .expect("valid probe config");
+
+    let trace = cfg.trace.as_deref();
+    let mut run_span = maybe_span(trace, "bench", "run_world", SpanId::NONE);
+    run_span.attr("prefixes", prefixes.len() as u64);
+    let run_span_id = run_span.id();
 
     // Pipeline-level metric handles (prober/engine layers register their
     // own under `prober/...` and `engine/...`).
@@ -189,6 +200,9 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
             .map(|e| e.asn)
             .unwrap_or(0);
         let started = Instant::now();
+        let mut prefix_span = maybe_span(trace, "bench", "prefix_run", run_span_id);
+        prefix_span.attr("prefix_high", (prefix.network().bits() >> 64) as u64);
+        prefix_span.attr("seeds", seeds.len() as u64);
         let outcome = SixGen::new(
             seeds.iter().copied(),
             Config {
@@ -197,6 +211,7 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
                 threads: cfg.threads,
                 rng_seed: cfg.rng_seed ^ prefix.network().bits() as u64,
                 metrics: cfg.metrics.clone(),
+                trace: cfg.trace.clone(),
                 ..Config::default()
             },
         )
@@ -207,6 +222,8 @@ pub fn run_world(cfg: &WorldRunConfig) -> WorldRun {
         if let Some(c) = &prefixes_ctr {
             c.inc();
         }
+        prefix_span.attr("targets", outcome.targets.len() as u64);
+        drop(prefix_span);
         let scan = prober.scan(outcome.targets.iter(), cfg.port);
         let hit_set: HashSet<NybbleAddr> = scan.hits.iter().copied().collect();
         let inactive_seeds = seeds.iter().filter(|s| !hit_set.contains(s)).count();

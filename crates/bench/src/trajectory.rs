@@ -133,7 +133,7 @@ fn seed_scaling(opts: &ExperimentOptions) -> Vec<ScalePoint> {
     let sizes: &[usize] = if opts.quick {
         &[10, 100, 1_000]
     } else {
-        &[10, 100, 1_000, 5_000, 10_000]
+        &[10, 100, 1_000, 5_000, 10_000, 30_000]
     };
     let repeats = if opts.quick { 1 } else { 3 };
     let mut points = Vec::with_capacity(sizes.len());
@@ -151,6 +151,7 @@ fn seed_scaling(opts: &ExperimentOptions) -> Vec<ScalePoint> {
                     threads: opts.threads,
                     rng_seed: rep,
                     metrics: opts.metrics.clone(),
+                    trace: opts.trace.clone(),
                     ..Config::default()
                 },
             )

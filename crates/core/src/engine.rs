@@ -8,7 +8,7 @@ use crate::Config;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sixgen_addr::{NybbleAddr, NybbleTree};
-use sixgen_obs::{Counter, Histogram, MetricsRegistry, PhaseTimer};
+use sixgen_obs::{maybe_span, Counter, Histogram, MetricsRegistry, PhaseTimer, SpanId, TraceSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -138,6 +138,12 @@ impl SixGen {
         let mut stats_subsumed: u64 = 0;
         let mut stats_worker_panics: u64 = 0;
         let metrics = self.config.metrics.as_deref().map(EngineMetrics::new);
+        let trace = self.config.trace.clone();
+        let trace = trace.as_deref();
+        let mut root = maybe_span(trace, "engine", "run", SpanId::NONE);
+        root.attr("seeds", self.seeds.len() as u64);
+        root.attr("budget", self.config.budget);
+        let root_id = root.id();
 
         let finish = |slots: Vec<Slot>,
                       budget: BudgetTracker,
@@ -216,8 +222,17 @@ impl SixGen {
 
         loop {
             let phase_started = Instant::now();
-            cpu_time +=
-                self.fill_caches(&mut slots, &mut stats_worker_panics, metrics.as_ref());
+            {
+                let mut span = maybe_span(trace, "engine", "cache_fill", root_id);
+                cpu_time += self.fill_caches(
+                    &mut slots,
+                    &mut stats_worker_panics,
+                    metrics.as_ref(),
+                    trace,
+                    span.id(),
+                );
+                span.attr("clusters", slots.len() as u64);
+            }
             if let Some(m) = &metrics {
                 m.cache_fill.record(phase_started.elapsed());
             }
@@ -244,6 +259,8 @@ impl SixGen {
             // smallest range, then uniformly at random among exact ties
             // (reservoir over scan order keeps this deterministic).
             let phase_started = Instant::now();
+            let mut select_span = maybe_span(trace, "engine", "select", root_id);
+            select_span.attr("clusters", slots.len() as u64);
             let mut best_index: Option<usize> = None;
             let mut ties: u64 = 0;
             for (i, slot) in slots.iter().enumerate() {
@@ -275,6 +292,7 @@ impl SixGen {
                     }
                 }
             }
+            drop(select_span);
             if let Some(m) = &metrics {
                 m.select.record(phase_started.elapsed());
             }
@@ -332,7 +350,10 @@ impl SixGen {
             // this cluster's cache, and delete clusters subsumed by the new
             // range (§5.4).
             let phase_started = Instant::now();
+            let mut commit_span = maybe_span(trace, "engine", "commit", root_id);
             let growth = growth.clone();
+            commit_span.attr("seed_count", growth.seed_count);
+            commit_span.attr("range_size", u64::try_from(growth.range_size).unwrap_or(u64::MAX));
             let charge = budget.charge(&growth.range, &mut rng);
             debug_assert!(matches!(charge, Charge::Committed { .. }));
             stats_growths += 1;
@@ -344,10 +365,12 @@ impl SixGen {
                 },
                 cached: Cached::Stale,
             };
+            drop(commit_span);
             if let Some(m) = &metrics {
                 m.commit.record(phase_started.elapsed());
             }
             let phase_started = Instant::now();
+            let mut subsume_span = maybe_span(trace, "engine", "subsume", root_id);
             let before = slots.len();
             let mut index = 0;
             slots.retain(|slot| {
@@ -356,6 +379,8 @@ impl SixGen {
                 keep
             });
             stats_subsumed += (before - slots.len()) as u64;
+            subsume_span.attr("subsumed", (before - slots.len()) as u64);
+            drop(subsume_span);
             if let Some(m) = &metrics {
                 m.subsume.record(phase_started.elapsed());
             }
@@ -377,6 +402,8 @@ impl SixGen {
         slots: &mut [Slot],
         worker_panics: &mut u64,
         metrics: Option<&EngineMetrics>,
+        trace: Option<&TraceSink>,
+        parent: SpanId,
     ) -> Duration {
         let stale: Vec<usize> = slots
             .iter()
@@ -396,7 +423,8 @@ impl SixGen {
         if threads <= 1 || stale.len() < 64 {
             let start = Instant::now();
             for &i in &stale {
-                slots[i].cached = self.compute_growth(&slots[i].cluster, false, metrics);
+                slots[i].cached =
+                    self.compute_growth(&slots[i].cluster, false, metrics, trace, parent);
             }
             return start.elapsed();
         }
@@ -424,7 +452,7 @@ impl SixGen {
                             .map(|(i, cluster)| {
                                 let cached =
                                     catch_unwind(AssertUnwindSafe(|| {
-                                        self.compute_growth(cluster, true, metrics)
+                                        self.compute_growth(cluster, true, metrics, trace, parent)
                                     }))
                                     .ok();
                                 (*i, cached)
@@ -462,7 +490,7 @@ impl SixGen {
             *worker_panics += 1;
             let start = Instant::now();
             slots[i].cached = catch_unwind(AssertUnwindSafe(|| {
-                self.compute_growth(&slots[i].cluster, false, metrics)
+                self.compute_growth(&slots[i].cluster, false, metrics, trace, parent)
             }))
             .unwrap_or(Cached::Exhausted);
             cpu += start.elapsed();
@@ -476,12 +504,18 @@ impl SixGen {
     /// With metrics enabled, records the candidate-set size and distinct
     /// ranges evaluated (deterministic — histogram totals are identical
     /// regardless of worker scheduling, since atomic adds commute) and the
-    /// evaluation's wall-clock latency (timing section).
+    /// evaluation's wall-clock latency (timing section). With tracing
+    /// enabled, records one `growth_eval` span per cluster per round,
+    /// carrying the cluster's identity (low 64 bits of its range minimum),
+    /// candidate-set size, ranges evaluated, and the chosen growth's
+    /// density (parts per million) and size.
     fn compute_growth(
         &self,
         cluster: &Cluster,
         parallel_worker: bool,
         metrics: Option<&EngineMetrics>,
+        trace: Option<&TraceSink>,
+        parent: SpanId,
     ) -> Cached {
         if let Some(injection) = &self.config.panic_injection {
             if cluster.range.size() == injection.range_size
@@ -491,6 +525,8 @@ impl SixGen {
             }
         }
         let started = Instant::now();
+        let mut span = maybe_span(trace, "engine", "growth_eval", parent);
+        span.attr("cluster", cluster.range.min_address().bits() as u64);
         let mut state = splitmix64_seed(
             self.config.rng_seed,
             cluster.range.min_address().bits(),
@@ -501,6 +537,18 @@ impl SixGen {
             state
         };
         let eval = evaluate_growth(cluster, &self.tree, self.config.mode, tie_break);
+        span.attr("candidates", eval.candidates);
+        span.attr("ranges_evaluated", eval.ranges_evaluated);
+        if let Some(growth) = &eval.growth {
+            span.attr(
+                "density_ppm",
+                (growth.seed_count as f64 / growth.range_size as f64 * 1e6) as u64,
+            );
+            span.attr(
+                "range_size",
+                u64::try_from(growth.range_size).unwrap_or(u64::MAX),
+            );
+        }
         if let Some(m) = metrics {
             m.candidate_set_size.record(eval.candidates);
             m.ranges_evaluated.record(eval.ranges_evaluated);
@@ -969,6 +1017,77 @@ mod tests {
         };
         assert_eq!(section(1), section(1), "repeated serial runs");
         assert_eq!(section(1), section(4), "serial vs parallel");
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        use sixgen_obs::TraceSink;
+        let seeds = parallel_test_seeds();
+        // Bare run vs traced run: identical targets.
+        let bare = SixGen::new(seeds.clone(), Config::with_budget(2000)).run();
+        let sink = TraceSink::shared();
+        let traced = SixGen::new(
+            seeds.clone(),
+            Config {
+                threads: 4,
+                trace: Some(Arc::clone(&sink)),
+                ..Config::with_budget(2000)
+            },
+        )
+        .run();
+        assert_eq!(bare.targets.as_slice(), traced.targets.as_slice());
+        assert_eq!(bare.stats.growths, traced.stats.growths);
+        // The trace holds a run root with nested phase and per-cluster
+        // growth_eval spans carrying the documented attributes.
+        let spans = sink.snapshot();
+        let root = spans
+            .iter()
+            .find(|s| s.category == "engine" && s.name == "run")
+            .expect("run root span");
+        assert!(root.attrs().iter().any(|&(k, v)| k == "seeds" && v == 70));
+        let fill = spans
+            .iter()
+            .find(|s| s.name == "cache_fill")
+            .expect("cache_fill span");
+        assert_eq!(fill.parent, root.id, "phases nest under the root");
+        let eval = spans
+            .iter()
+            .find(|s| s.name == "growth_eval")
+            .expect("growth_eval span");
+        assert!(eval.attrs().iter().any(|&(k, _)| k == "cluster"));
+        assert!(eval.attrs().iter().any(|&(k, _)| k == "candidates"));
+        assert!(
+            spans.iter().filter(|s| s.name == "growth_eval").count() >= seeds.len(),
+            "one span per cluster in the first round alone"
+        );
+    }
+
+    #[test]
+    fn tracing_on_off_deterministic_metrics_are_byte_identical() {
+        use sixgen_obs::TraceSink;
+        let seeds = parallel_test_seeds();
+        let deterministic = |trace: Option<Arc<TraceSink>>| {
+            let registry = MetricsRegistry::shared();
+            SixGen::new(
+                seeds.clone(),
+                Config {
+                    threads: 4,
+                    metrics: Some(Arc::clone(&registry)),
+                    trace,
+                    ..Config::with_budget(2000)
+                },
+            )
+            .run();
+            registry.deterministic_json()
+        };
+        let off = deterministic(None);
+        let on = deterministic(Some(TraceSink::shared()));
+        // A sink that exists but is disabled must also be invisible.
+        let disabled_sink = TraceSink::shared();
+        disabled_sink.set_enabled(false);
+        let disabled = deterministic(Some(disabled_sink));
+        assert_eq!(off, on, "tracing must not perturb deterministic metrics");
+        assert_eq!(off, disabled);
     }
 
     #[test]

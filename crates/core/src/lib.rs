@@ -103,6 +103,14 @@ pub struct Config {
     /// end of the run. Metrics only observe — they never perturb the
     /// algorithm, so instrumented and bare runs produce identical targets.
     pub metrics: Option<std::sync::Arc<sixgen_obs::MetricsRegistry>>,
+    /// Optional trace sink. When set, the engine records one run-level
+    /// root span with nested per-iteration `cache_fill` / `select` /
+    /// `commit` / `subsume` spans, and one `growth_eval` span per cluster
+    /// evaluated per round (carrying cluster id, candidate-set size, and
+    /// chosen-range density attributes). Like metrics, tracing only
+    /// observes: traced and bare runs produce identical targets and
+    /// identical deterministic metrics.
+    pub trace: Option<std::sync::Arc<sixgen_obs::TraceSink>>,
     /// Test hook: deterministic growth-worker panic injection. Not part of
     /// the stable API.
     #[doc(hidden)]
@@ -132,6 +140,7 @@ impl Default for Config {
             rng_seed: 0x6CE4,
             time_limit: None,
             metrics: None,
+            trace: None,
             panic_injection: None,
         }
     }

@@ -46,6 +46,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod prom;
+pub mod trace;
+
+pub use trace::{maybe_span, validate_json, Span, SpanId, SpanRecord, SummaryRow, TraceSink};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -195,6 +200,49 @@ impl Histogram {
         self.buckets[Self::bucket_index(value)].load(Ordering::Relaxed)
     }
 
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) of the recorded samples, or
+    /// `None` if the histogram is empty. Computed by nearest rank over the
+    /// log₂ buckets with linear interpolation inside the target bucket,
+    /// clamped to the observed `[min, max]`.
+    ///
+    /// **Error bound:** the estimate always falls in the same bucket as
+    /// the exact nearest-rank sample, so the absolute error is strictly
+    /// less than that bucket's width — `2^(i-1)` for bucket `i ≥ 1`
+    /// (i.e. less than the sample itself, a relative error under 100%) —
+    /// and exactly `0` for the zero bucket. Clamping to `[min, max]`
+    /// cannot move the estimate out of the bucket: if `min` or `max` lies
+    /// in a different bucket it lies strictly outside the target bucket's
+    /// bounds on the far side, making the clamp a no-op.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen: u64 = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                if i == 0 {
+                    return Some(0);
+                }
+                let lower = Self::bucket_lower_bound(i);
+                let upper = lower.saturating_mul(2).saturating_sub(1);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lower.saturating_add((frac * lower as f64) as u64);
+                let est = est.clamp(lower, upper);
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return Some(est.clamp(min.min(max), max));
+            }
+            seen += n;
+        }
+        self.max()
+    }
+
     fn write_json(&self, out: &mut String) {
         let count = self.count();
         out.push_str("{\"count\":");
@@ -202,6 +250,16 @@ impl Histogram {
         let _ = write!(out, ",\"sum\":{}", self.sum());
         if let (Some(min), Some(max)) = (self.min(), self.max()) {
             let _ = write!(out, ",\"min\":{min},\"max\":{max}");
+            // Percentile estimates are pure functions of the buckets and
+            // min/max, so they are as deterministic as the rest of the
+            // histogram and safe in both export namespaces.
+            if let (Some(p50), Some(p95), Some(p99)) = (
+                self.percentile(0.50),
+                self.percentile(0.95),
+                self.percentile(0.99),
+            ) {
+                let _ = write!(out, ",\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}");
+            }
         }
         // Non-empty buckets as [lower_bound, count] pairs, in bound order
         // (object keys would sort lexicographically — "16" before "2").
@@ -287,12 +345,12 @@ pub fn timed(timer: &Arc<PhaseTimer>) -> PhaseGuard {
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<String, Arc<Counter>>,
-    gauges: BTreeMap<String, Arc<Gauge>>,
-    histograms: BTreeMap<String, Arc<Histogram>>,
-    phases: BTreeMap<String, Arc<PhaseTimer>>,
-    time_histograms: BTreeMap<String, Arc<Histogram>>,
+pub(crate) struct Inner {
+    pub(crate) counters: BTreeMap<String, Arc<Counter>>,
+    pub(crate) gauges: BTreeMap<String, Arc<Gauge>>,
+    pub(crate) histograms: BTreeMap<String, Arc<Histogram>>,
+    pub(crate) phases: BTreeMap<String, Arc<PhaseTimer>>,
+    pub(crate) time_histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 /// The workspace metrics registry.
@@ -304,7 +362,7 @@ struct Inner {
 /// up front and keep the handles.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    pub(crate) inner: Mutex<Inner>,
 }
 
 impl MetricsRegistry {
@@ -578,6 +636,50 @@ mod tests {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("x\ny"), "x\\ny");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn percentiles_track_exact_values_within_a_bucket() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Exact nearest-rank percentiles are 50, 95, 99; estimates must
+        // land in the same log₂ bucket ([32,64), [64,128), [64,128)).
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((32..64).contains(&p50), "p50 = {p50}");
+        assert!((64..128).contains(&p95), "p95 = {p95}");
+        assert!((64..128).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+        // Estimates never leave the observed range.
+        assert!(p99 <= 100);
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact() {
+        let h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0));
+        let h = Histogram::default();
+        h.record(777);
+        // A single sample: min == max == 777 clamps the estimate exactly.
+        assert_eq!(h.percentile(0.5), Some(777));
+        assert_eq!(h.percentile(0.99), Some(777));
+    }
+
+    #[test]
+    fn histogram_json_includes_percentiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h");
+        h.record(777);
+        let json = r.to_json();
+        assert!(
+            json.contains("\"p50\":777,\"p95\":777,\"p99\":777"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Prometheus text-exposition export of a [`MetricsRegistry`].
+//!
+//! Maps the registry onto the [text exposition format]: counters become
+//! `_total` counters, gauges stay gauges, histograms (value and duration)
+//! become native Prometheus histograms with cumulative `_bucket{le=…}`
+//! series plus `_sum` and `_count`, and phase timers become a pair of
+//! counters (`…_ns_total`, `…_runs_total`). Metric names are prefixed
+//! `sixgen_` and every character outside `[a-zA-Z0-9_]` is replaced with
+//! `_` (so `engine/cache_fill` exports as `sixgen_engine_cache_fill`).
+//! Families are emitted in sorted name order, so the output is as
+//! deterministic as the underlying registry.
+//!
+//! [text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use crate::{Histogram, MetricsRegistry};
+
+/// A registry-key turned Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("sixgen_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, histogram: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative: u64 = 0;
+    for (i, bucket) in histogram.buckets.iter().enumerate() {
+        let n = bucket.load(Ordering::Relaxed);
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        // Bucket i covers [2^(i-1), 2^i); its inclusive upper bound is
+        // 2^i − 1 (the zero bucket's is 0), matching `le`'s ≤ semantics.
+        let le = match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.count());
+    let _ = writeln!(out, "{name}_sum {}", histogram.sum());
+    let _ = writeln!(out, "{name}_count {}", histogram.count());
+}
+
+impl MetricsRegistry {
+    /// Serializes the registry in the Prometheus text exposition format
+    /// (version 0.0.4). See the `prom` module docs for the
+    /// mapping. Includes both the deterministic and timing metrics —
+    /// a scrape endpoint wants everything; determinism guarantees apply
+    /// only to the JSON export.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, counter) in &inner.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total {}", counter.get());
+        }
+        for (name, gauge) in &inner.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.get());
+        }
+        for (name, histogram) in &inner.histograms {
+            write_histogram(&mut out, &sanitize(name), histogram);
+        }
+        for (name, histogram) in &inner.time_histograms {
+            let name = sanitize(name) + "_ns";
+            write_histogram(&mut out, &name, histogram);
+        }
+        for (name, phase) in &inner.phases {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name}_ns_total counter");
+            let _ = writeln!(
+                out,
+                "{name}_ns_total {}",
+                phase.total_nanos.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "# TYPE {name}_runs_total counter");
+            let _ = writeln!(out, "{name}_runs_total {}", phase.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitize_prefixes_and_replaces() {
+        assert_eq!(sanitize("engine/cache_fill"), "sixgen_engine_cache_fill");
+        assert_eq!(sanitize("a-b.c"), "sixgen_a_b_c");
+    }
+
+    #[test]
+    fn counters_and_gauges_export() {
+        let r = MetricsRegistry::new();
+        r.counter("prober/probes").add(12);
+        r.gauge("engine/clusters").set(-3);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE sixgen_prober_probes_total counter\n"));
+        assert!(text.contains("\nsixgen_prober_probes_total 12\n"));
+        assert!(text.contains("# TYPE sixgen_engine_clusters gauge\n"));
+        assert!(text.contains("\nsixgen_engine_clusters -3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_sum_count() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("sizes");
+        for v in [0, 1, 3, 3, 100] {
+            h.record(v);
+        }
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE sixgen_sizes histogram\n"));
+        assert!(text.contains("sixgen_sizes_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("sixgen_sizes_bucket{le=\"1\"} 2\n"), "{text}");
+        // 3 and 3 fall in [2,4): le="3" cumulative 4.
+        assert!(text.contains("sixgen_sizes_bucket{le=\"3\"} 4\n"), "{text}");
+        // 100 falls in [64,128): le="127" cumulative 5.
+        assert!(text.contains("sixgen_sizes_bucket{le=\"127\"} 5\n"), "{text}");
+        assert!(text.contains("sixgen_sizes_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("sixgen_sizes_sum 107\n"));
+        assert!(text.contains("sixgen_sizes_count 5\n"));
+    }
+
+    #[test]
+    fn phases_and_time_histograms_export() {
+        let r = MetricsRegistry::new();
+        r.phase("engine/select").record(Duration::from_nanos(500));
+        r.time_histogram("engine/growth_eval")
+            .record_duration(Duration::from_nanos(700));
+        let text = r.to_prometheus();
+        assert!(text.contains("sixgen_engine_select_ns_total 500\n"));
+        assert!(text.contains("sixgen_engine_select_runs_total 1\n"));
+        assert!(text.contains("# TYPE sixgen_engine_growth_eval_ns histogram\n"));
+        assert!(text.contains("sixgen_engine_growth_eval_ns_sum 700\n"));
+        assert!(text.contains("sixgen_engine_growth_eval_ns_count 1\n"));
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_text() {
+        assert_eq!(MetricsRegistry::new().to_prometheus(), "");
+    }
+
+    #[test]
+    fn top_bucket_le_is_u64_max() {
+        let r = MetricsRegistry::new();
+        r.histogram("h").record(u64::MAX);
+        let text = r.to_prometheus();
+        assert!(text.contains(&format!("sixgen_h_bucket{{le=\"{}\"}} 1\n", u64::MAX)));
+    }
+}

@@ -1,0 +1,828 @@
+//! Structured tracing: spans, sharded ring buffers, Chrome-trace export,
+//! and self-time summaries.
+//!
+//! Aggregate metrics (the registry in the crate root) answer *how much*;
+//! spans answer *where inside a run*. A [`TraceSink`] collects
+//! [`Span`]s — named, categorized intervals with a parent link, a thread
+//! id, and up to [`MAX_ATTRS`] `u64` key/value attributes — into
+//! thread-sharded ring buffers, and exports them either as Chrome
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`) or as a
+//! per-span-kind self-time summary table with percentiles.
+//!
+//! ## Overhead discipline
+//!
+//! * **Tracing absent** (no sink configured): instrumentation sites hold
+//!   an `Option` that is `None`, spans are [`Span::inert`], and neither
+//!   the clock nor any allocation is touched.
+//! * **Tracing disabled** (sink present, [`TraceSink::set_enabled`]
+//!   `false`): starting a span costs exactly one relaxed atomic load and
+//!   returns an inert span.
+//! * **Tracing enabled**: a span start reads the clock once; a span end
+//!   reads it again and appends a fixed-size record to the ring buffer of
+//!   the recording thread's shard. Shards are selected by a per-thread id,
+//!   so the shard lock is uncontended except when two live threads hash to
+//!   the same shard; no allocation happens per span (names and attr keys
+//!   are `&'static str`, attrs are a fixed array, and ring slots are
+//!   reused after the first wrap).
+//!
+//! ## Boundedness
+//!
+//! Memory is capped at `SHARDS × capacity` records. When a ring wraps, the
+//! oldest record in that shard is overwritten and the sink-wide
+//! [`dropped`](TraceSink::dropped) counter increments; both exporters
+//! surface the drop count so a truncated trace is never mistaken for a
+//! complete one.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::escape_json;
+
+/// Number of ring-buffer shards. Threads map to shards by a process-wide
+/// per-thread id, so up to this many threads record without sharing a
+/// lock.
+const SHARDS: usize = 16;
+
+/// Maximum number of key/value attributes per span; extra [`Span::attr`]
+/// calls are silently ignored.
+pub const MAX_ATTRS: usize = 6;
+
+/// Identity of a span, used to nest children under parents explicitly
+/// (parent links are threaded by hand rather than via thread-local span
+/// stacks, which keeps recording wait-free and works across the engine's
+/// scoped worker threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// "No parent": the span is a root.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// `true` for [`SpanId::NONE`] and for the id of an inert span.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One completed span, as retained in the ring buffers.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (sink-scoped, starts at 1).
+    pub id: u64,
+    /// Parent span id, or 0 for roots.
+    pub parent: u64,
+    /// Process-wide small id of the recording thread.
+    pub thread: u64,
+    /// Coarse grouping (`"engine"`, `"prober"`, `"bench"`).
+    pub category: &'static str,
+    /// Span kind within the category (`"cache_fill"`, `"scan"`, …).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the sink's epoch.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the sink's epoch.
+    pub end_ns: u64,
+    /// Key/value attributes; only the first `attr_len` entries are live.
+    pub attrs: [(&'static str, u64); MAX_ATTRS],
+    /// Number of live attributes.
+    pub attr_len: u8,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// The live attributes.
+    pub fn attrs(&self) -> &[(&'static str, u64)] {
+        &self.attrs[..self.attr_len as usize]
+    }
+}
+
+/// Fixed-capacity overwrite-oldest buffer of span records.
+#[derive(Debug, Default)]
+struct Ring {
+    records: Vec<SpanRecord>,
+    /// Index of the oldest record once the buffer has wrapped.
+    head: usize,
+}
+
+impl Ring {
+    /// Appends a record; returns `true` if an old record was overwritten.
+    fn push(&mut self, record: SpanRecord, capacity: usize) -> bool {
+        if self.records.len() < capacity {
+            self.records.push(record);
+            false
+        } else {
+            self.records[self.head] = record;
+            self.head = (self.head + 1) % capacity;
+            true
+        }
+    }
+
+    /// Records in arrival order.
+    fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.records[self.head..]
+            .iter()
+            .chain(self.records[..self.head].iter())
+    }
+}
+
+/// Process-wide thread-id assignment: each OS thread gets a stable small
+/// id the first time it records a span (into any sink).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|cell| {
+        let mut id = cell.get();
+        if id == 0 {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(id);
+        }
+        id
+    })
+}
+
+/// A bounded collector of [`Span`]s. See the module docs for the overhead
+/// and boundedness guarantees.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: AtomicBool,
+    /// Ring capacity per shard.
+    capacity: usize,
+    shards: [Mutex<Ring>; SHARDS],
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// Default ring capacity per shard (total retention:
+    /// `16 × 8192 = 131 072` spans).
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// A sink with the default capacity.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// A sink retaining up to `capacity` spans *per shard* (total:
+    /// `16 × capacity`). A zero capacity is rounded up to 1.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            shards: [(); SHARDS].map(|()| Mutex::new(Ring::default())),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Convenience: a fresh sink behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<TraceSink> {
+        Arc::new(TraceSink::new())
+    }
+
+    /// Turns recording on or off. While off, [`span`](Self::span) costs one
+    /// atomic load and records nothing.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the sink is currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans lost to ring-buffer wrap-around since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("trace shard poisoned").records.len())
+            .sum()
+    }
+
+    /// `true` if no span has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Starts a span. The returned guard records itself into the sink when
+    /// dropped; use [`Span::attr`] to attach values and [`Span::id`] to
+    /// parent children under it.
+    pub fn span(&self, category: &'static str, name: &'static str, parent: SpanId) -> Span<'_> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Span::inert();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            sink: Some(self),
+            id,
+            parent: parent.0,
+            category,
+            name,
+            start_ns: self.now_ns(),
+            attrs: [("", 0); MAX_ATTRS],
+            attr_len: 0,
+        }
+    }
+
+    /// Nanoseconds since the sink's epoch.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let shard = (record.thread as usize) % SHARDS;
+        let wrapped = self.shards[shard]
+            .lock()
+            .expect("trace shard poisoned")
+            .push(record, self.capacity);
+        if wrapped {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All retained spans, merged across shards and sorted by start time
+    /// (ties by id). Non-destructive.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let ring = shard.lock().expect("trace shard poisoned");
+            spans.extend(ring.iter().cloned());
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+
+    /// Serializes the retained spans as Chrome trace-event JSON — an object
+    /// with a `traceEvents` array of complete (`"ph":"X"`) events, loadable
+    /// in Perfetto and `chrome://tracing`. Timestamps and durations are
+    /// microseconds with nanosecond precision; attributes (plus the parent
+    /// span id) land in each event's `args`. The top-level `otherData`
+    /// object carries the span and dropped-span counts.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::with_capacity(128 + spans.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let _ = write!(
+            out,
+            "\"spans\":{},\"dropped_spans\":{}",
+            spans.len(),
+            self.dropped()
+        );
+        out.push_str("},\"traceEvents\":[");
+        out.push_str(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"sixgen\"}}",
+        );
+        for span in &spans {
+            out.push(',');
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"span_id\":{}",
+                span.thread,
+                escape_json(span.category),
+                escape_json(span.name),
+                span.start_ns / 1_000,
+                span.start_ns % 1_000,
+                span.duration_ns() / 1_000,
+                span.duration_ns() % 1_000,
+                span.id,
+            );
+            if span.parent != 0 {
+                let _ = write!(out, ",\"parent\":{}", span.parent);
+            }
+            for (key, value) in span.attrs() {
+                let _ = write!(out, ",\"{}\":{value}", escape_json(key));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Per-span-kind aggregation of the retained spans: for every
+    /// `category/name` pair, the span count, total time, self time (total
+    /// minus time attributed to child spans), and exact p50/p95/p99 of the
+    /// span durations. Rows are ordered by descending total time.
+    ///
+    /// Self time saturates at zero: children evaluated on parallel worker
+    /// threads can accumulate more time than their parent's wall-clock
+    /// duration.
+    pub fn summary(&self) -> Vec<SummaryRow> {
+        let spans = self.snapshot();
+        // Child time per parent id.
+        let mut child_ns: HashMap<u64, u64> = HashMap::new();
+        for span in &spans {
+            if span.parent != 0 {
+                *child_ns.entry(span.parent).or_default() += span.duration_ns();
+            }
+        }
+        let mut rows: HashMap<(&'static str, &'static str), SummaryRow> = HashMap::new();
+        let mut durations: HashMap<(&'static str, &'static str), Vec<u64>> = HashMap::new();
+        for span in &spans {
+            let key = (span.category, span.name);
+            let duration = span.duration_ns();
+            let row = rows.entry(key).or_insert_with(|| SummaryRow {
+                key: format!("{}/{}", span.category, span.name),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+            });
+            row.count += 1;
+            row.total_ns += duration;
+            row.self_ns += duration
+                .saturating_sub(child_ns.get(&span.id).copied().unwrap_or(0))
+                .min(duration);
+            durations.entry(key).or_default().push(duration);
+        }
+        for (key, mut values) in durations {
+            values.sort_unstable();
+            let row = rows.get_mut(&key).expect("row exists for every key");
+            row.p50_ns = nearest_rank(&values, 0.50);
+            row.p95_ns = nearest_rank(&values, 0.95);
+            row.p99_ns = nearest_rank(&values, 0.99);
+        }
+        let mut rows: Vec<SummaryRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.key.cmp(&b.key)));
+        rows
+    }
+
+    /// Renders [`summary`](Self::summary) as a fixed-width text table,
+    /// trailed by the dropped-span count when non-zero.
+    pub fn render_summary(&self) -> String {
+        let rows = self.summary();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            "span", "count", "total", "self", "p50", "p95", "p99"
+        );
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                row.key,
+                row.count,
+                format_ns(row.total_ns),
+                format_ns(row.self_ns),
+                format_ns(row.p50_ns),
+                format_ns(row.p95_ns),
+                format_ns(row.p99_ns),
+            );
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            let _ = writeln!(out, "({dropped} spans dropped to ring-buffer wrap)");
+        }
+        out
+    }
+}
+
+/// One row of [`TraceSink::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// `category/name`.
+    pub key: String,
+    /// Number of spans of this kind.
+    pub count: u64,
+    /// Sum of span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus child-span time (saturating), nanoseconds.
+    pub self_ns: u64,
+    /// Median span duration (nearest rank), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile span duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile span duration, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Nearest-rank percentile of a sorted, non-empty slice.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Human-scale duration: `123ns`, `45.6µs`, `7.89ms`, `1.23s`.
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// RAII span guard: records its interval into the sink when dropped.
+/// Obtained from [`TraceSink::span`] (live) or [`Span::inert`] /
+/// [`maybe_span`] (no-op).
+#[derive(Debug)]
+pub struct Span<'s> {
+    sink: Option<&'s TraceSink>,
+    id: u64,
+    parent: u64,
+    category: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    attrs: [(&'static str, u64); MAX_ATTRS],
+    attr_len: u8,
+}
+
+impl Span<'_> {
+    /// A span that records nothing and never touches the clock. The
+    /// disabled-path representation: instrumentation code handles live and
+    /// inert spans identically.
+    pub fn inert() -> Span<'static> {
+        Span {
+            sink: None,
+            id: 0,
+            parent: 0,
+            category: "",
+            name: "",
+            start_ns: 0,
+            attrs: [("", 0); MAX_ATTRS],
+            attr_len: 0,
+        }
+    }
+
+    /// This span's id, for parenting children under it.
+    /// [`SpanId::NONE`] when inert.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+
+    /// Attaches a key/value attribute. Ignored on inert spans and beyond
+    /// [`MAX_ATTRS`] entries.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if self.sink.is_none() {
+            return;
+        }
+        if (self.attr_len as usize) < MAX_ATTRS {
+            self.attrs[self.attr_len as usize] = (key, value);
+            self.attr_len += 1;
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(sink) = self.sink else {
+            return;
+        };
+        sink.record(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            thread: thread_id(),
+            category: self.category,
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns: sink.now_ns(),
+            attrs: self.attrs,
+            attr_len: self.attr_len,
+        });
+    }
+}
+
+/// Starts a span against an optional sink: the instrumentation-site
+/// helper. `None` yields an inert span with zero overhead beyond the
+/// branch.
+pub fn maybe_span<'s>(
+    sink: Option<&'s TraceSink>,
+    category: &'static str,
+    name: &'static str,
+    parent: SpanId,
+) -> Span<'s> {
+    match sink {
+        Some(sink) => sink.span(category, name, parent),
+        None => Span::inert(),
+    }
+}
+
+/// Validates that `text` is one complete JSON value (used by tests to
+/// round-trip the Chrome-trace and metrics exports, and cheap enough to
+/// run before shipping a trace file). Returns the byte offset and a
+/// message on the first syntax error.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("expected number at byte {start}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_and_attrs() {
+        let sink = TraceSink::new();
+        {
+            let mut root = sink.span("engine", "run", SpanId::NONE);
+            root.attr("seeds", 42);
+            {
+                let mut child = sink.span("engine", "cache_fill", root.id());
+                child.attr("clusters", 7);
+            }
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "run").expect("root span");
+        let child = spans.iter().find(|s| s.name == "cache_fill").expect("child");
+        assert_eq!(root.parent, 0);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(root.attrs(), &[("seeds", 42)]);
+        assert_eq!(child.attrs(), &[("clusters", 7)]);
+        assert!(child.start_ns >= root.start_ns);
+        assert!(child.end_ns <= root.end_ns);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new();
+        sink.set_enabled(false);
+        {
+            let mut span = sink.span("engine", "run", SpanId::NONE);
+            span.attr("ignored", 1);
+            assert!(span.id().is_none());
+        }
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+        sink.set_enabled(true);
+        drop(sink.span("engine", "run", SpanId::NONE));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn inert_span_is_free_standing() {
+        let mut span = Span::inert();
+        span.attr("x", 1);
+        assert!(span.id().is_none());
+        drop(span); // must not panic or record anywhere
+        assert_eq!(maybe_span(None, "a", "b", SpanId::NONE).id(), SpanId::NONE);
+    }
+
+    #[test]
+    fn ring_wrap_drops_oldest_and_counts() {
+        // Single-threaded: all spans land in one shard of capacity 4.
+        let sink = TraceSink::with_capacity(4);
+        let names: [&'static str; 7] = ["s0", "s1", "s2", "s3", "s4", "s5", "s6"];
+        for name in names {
+            drop(sink.span("t", name, SpanId::NONE));
+        }
+        assert_eq!(sink.len(), 4, "capacity bounds retention");
+        assert_eq!(sink.dropped(), 3, "three overwrites counted");
+        let kept: Vec<&str> = sink.snapshot().iter().map(|s| s.name).collect();
+        assert_eq!(kept, vec!["s3", "s4", "s5", "s6"], "oldest dropped first");
+        // The exporters surface the drop count.
+        assert!(sink.to_chrome_json().contains("\"dropped_spans\":3"));
+        assert!(sink.render_summary().contains("3 spans dropped"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_under_capacity() {
+        let sink = TraceSink::with_capacity(10_000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        drop(sink.span("t", "work", SpanId::NONE));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 4_000);
+        assert_eq!(sink.dropped(), 0);
+        // Ids are unique.
+        let mut ids: Vec<u64> = sink.snapshot().iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4_000);
+    }
+
+    #[test]
+    fn chrome_json_round_trips() {
+        let sink = TraceSink::new();
+        {
+            let mut root = sink.span("engine", "run", SpanId::NONE);
+            root.attr("seeds", 10);
+            drop(sink.span("engine", "select", root.id()));
+        }
+        let json = sink.to_chrome_json();
+        validate_json(&json).expect("chrome trace JSON parses");
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"engine\""));
+        assert!(json.contains("\"name\":\"run\""));
+        assert!(json.contains("\"seeds\":10"));
+        assert!(json.contains("\"parent\":"));
+        assert!(json.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn empty_sink_exports_valid_json() {
+        let sink = TraceSink::new();
+        let json = sink.to_chrome_json();
+        validate_json(&json).expect("empty trace parses");
+        assert!(json.contains("\"spans\":0"));
+    }
+
+    #[test]
+    fn summary_attributes_self_time_to_parents() {
+        let sink = TraceSink::new();
+        {
+            let root = sink.span("engine", "run", SpanId::NONE);
+            {
+                let _child = sink.span("engine", "cache_fill", root.id());
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        let rows = sink.summary();
+        assert_eq!(rows.len(), 2);
+        let run = rows.iter().find(|r| r.key == "engine/run").expect("run row");
+        let fill = rows
+            .iter()
+            .find(|r| r.key == "engine/cache_fill")
+            .expect("fill row");
+        assert_eq!(run.count, 1);
+        assert_eq!(fill.count, 1);
+        // The child's time is excluded from the parent's self time.
+        assert!(run.total_ns >= fill.total_ns);
+        assert!(run.self_ns <= run.total_ns - fill.total_ns.min(run.total_ns) + 1_000_000);
+        assert_eq!(fill.self_ns, fill.total_ns, "leaf self == total");
+        // Percentiles of a single sample are that sample.
+        assert_eq!(fill.p50_ns, fill.p95_ns);
+        assert_eq!(fill.p95_ns, fill.p99_ns);
+        // Rows ordered by total time: the enclosing run comes first.
+        assert_eq!(rows[0].key, "engine/run");
+    }
+
+    #[test]
+    fn summary_percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 0.50), 50);
+        assert_eq!(nearest_rank(&sorted, 0.95), 95);
+        assert_eq!(nearest_rank(&sorted, 0.99), 99);
+        assert_eq!(nearest_rank(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed() {
+        assert!(validate_json("{}").is_ok());
+        assert!(validate_json("[1,2,{\"a\":null}]").is_ok());
+        assert!(validate_json("{\"a\":1.5e3,\"b\":\"x\\\"y\"}").is_ok());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{\"a\":1}trailing").is_err());
+        assert!(validate_json("").is_err());
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(4_500), "4.5µs");
+        assert_eq!(format_ns(7_890_000), "7.89ms");
+        assert_eq!(format_ns(1_230_000_000), "1.23s");
+    }
+}

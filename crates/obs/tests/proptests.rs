@@ -1,0 +1,84 @@
+//! Property-based tests for the observability layer: histogram percentile
+//! estimates stay within one log₂ bucket of the exact percentiles, and the
+//! exporters stay well-formed on arbitrary inputs.
+
+use proptest::prelude::*;
+use sixgen_obs::{validate_json, Histogram, MetricsRegistry};
+
+/// Bucket index a value falls into, mirroring the histogram's layout
+/// (bucket 0 = zeros, bucket i ≥ 1 covers [2^(i-1), 2^i)).
+fn bucket_of(value: u64) -> u32 {
+    match value {
+        0 => 0,
+        v => 64 - v.leading_zeros(),
+    }
+}
+
+/// Exact nearest-rank percentile of a sorted slice.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Samples spanning several orders of magnitude, so many buckets are hit.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            1u64..1 << 12,
+            1u64..1 << 40,
+            any::<u64>(),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn percentile_estimate_is_within_one_bucket_of_exact(
+        mut samples in arb_samples(),
+        q in prop_oneof![Just(0.50f64), Just(0.95), Just(0.99), 0.01f64..1.0],
+    ) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let exact = exact_percentile(&samples, q);
+        let estimate = h.percentile(q).expect("non-empty");
+        // The documented bound: the estimate lands in the same bucket as
+        // the exact nearest-rank sample (so the absolute error is below
+        // that bucket's width) — "within one bucket" with room to spare.
+        prop_assert!(
+            bucket_of(estimate).abs_diff(bucket_of(exact)) <= 1,
+            "estimate {estimate} (bucket {}) vs exact {exact} (bucket {})",
+            bucket_of(estimate),
+            bucket_of(exact),
+        );
+        // And it never leaves the observed range.
+        prop_assert!(estimate >= samples[0] && estimate <= samples[samples.len() - 1]);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(samples in arb_samples()) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn json_export_parses_for_arbitrary_histograms(samples in arb_samples()) {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h");
+        for &v in &samples {
+            h.record(v);
+        }
+        validate_json(&r.to_json()).expect("registry export parses");
+    }
+}

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sixgen_addr::NybbleAddr;
-use sixgen_obs::{Counter, MetricsRegistry};
+use sixgen_obs::{maybe_span, Counter, MetricsRegistry, SpanId, TraceSink};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -73,6 +73,11 @@ pub struct ProbeConfig {
     /// per-fault-model action breakdown under `prober/*` names. All prober
     /// metrics are virtual-time quantities and therefore deterministic.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Optional trace sink. When set, every [`Prober::scan`] records one
+    /// `prober/scan` span carrying target, probe, retransmit, and hit
+    /// counts. Tracing only observes — traced and bare scans return
+    /// identical results.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ProbeConfig {
@@ -86,6 +91,7 @@ impl Default for ProbeConfig {
             retry: RetryPolicy::Immediate,
             retransmit_budget: None,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -362,17 +368,26 @@ impl<'a> Prober<'a> {
     /// ("We randomized the order of the destination hosts", §6), probes
     /// each target once (plus retries), and returns the hits.
     pub fn scan(&mut self, targets: impl IntoIterator<Item = NybbleAddr>, port: u16) -> ScanResult {
+        // Clone the sink handle up front: the span must not borrow `self`
+        // across the `&mut self` probe loop.
+        let trace = self.config.trace.clone();
+        let mut span = maybe_span(trace.as_deref(), "prober", "scan", SpanId::NONE);
         let mut list: Vec<NybbleAddr> = targets.into_iter().collect();
         list.sort_unstable();
         list.dedup();
         list.shuffle(&mut self.rng);
         let before = self.stats.packets_sent;
+        let retransmits_before = self.stats.retransmits;
         let mut hits = Vec::new();
         for addr in &list {
             if self.probe(*addr, port) {
                 hits.push(*addr);
             }
         }
+        span.attr("targets", list.len() as u64);
+        span.attr("probes", self.stats.packets_sent - before);
+        span.attr("retransmits", self.stats.retransmits - retransmits_before);
+        span.attr("hits", hits.len() as u64);
         ScanResult {
             targets: list.len() as u64,
             probes: self.stats.packets_sent - before,
@@ -735,6 +750,41 @@ mod tests {
         let again = MetricsRegistry::shared();
         run(Some(Arc::clone(&again)));
         assert_eq!(registry.deterministic_json(), again.deterministic_json());
+    }
+
+    #[test]
+    fn scan_records_trace_span_with_packet_attrs() {
+        let net = internet();
+        let sink = TraceSink::shared();
+        let mut p = prober(
+            &net,
+            ProbeConfig {
+                loss: 0.5,
+                retries: 2,
+                trace: Some(Arc::clone(&sink)),
+                ..ProbeConfig::default()
+            },
+        );
+        let targets: Vec<NybbleAddr> = (0..20u32)
+            .map(|i| NybbleAddr::from_bits(0x2001_0db8u128 << 96 | i as u128))
+            .collect();
+        let r = p.scan(targets, 80);
+        let spans = sink.snapshot();
+        let span = spans
+            .iter()
+            .find(|s| s.category == "prober" && s.name == "scan")
+            .expect("scan span");
+        let attr = |key: &str| {
+            span.attrs()
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .expect("attr present")
+        };
+        assert_eq!(attr("targets"), 20);
+        assert_eq!(attr("probes"), r.probes);
+        assert_eq!(attr("hits"), r.hits.len() as u64);
+        assert_eq!(attr("retransmits"), p.stats().retransmits);
     }
 
     #[test]

@@ -30,14 +30,14 @@ use sixgen::core::{ClusterMode, Config, SixGen};
 use sixgen::datasets::io::{read_hitlist_file, write_hitlist_binary_file, write_hitlist_file};
 use sixgen::datasets::split_groups;
 use sixgen::entropy_ip::{entropy_profile, EntropyIpConfig, EntropyIpModel};
-use sixgen::obs::MetricsRegistry;
+use sixgen::obs::{MetricsRegistry, TraceSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR] [--metrics-out FILE]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR] [--metrics-out FILE]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)\n--metrics-out: write engine/prober metrics as JSON (deterministic + timing sections)"
+        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom] [--trace-out FILE] [--trace-summary]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom]\n                    [--trace-out FILE] [--trace-summary]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)\n--metrics-out: write engine/prober metrics (JSON by default; a .prom extension\n               or --metrics-format prom selects Prometheus text exposition)\n--trace-out: write a Chrome trace-event JSON (Perfetto / chrome://tracing)\n--trace-summary: print a per-span-kind self-time summary table"
     );
     ExitCode::from(2)
 }
@@ -61,6 +61,16 @@ struct Cli {
     retransmit_budget: Option<u64>,
     rate_pps: u64,
     metrics_out: Option<PathBuf>,
+    metrics_format: Option<MetricsFormat>,
+    trace_out: Option<PathBuf>,
+    trace_summary: bool,
+}
+
+/// Output format for `--metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prometheus,
 }
 
 /// Parses a human duration: plain seconds (`30`), or with a `ms`/`s`/`m`/`h`
@@ -104,6 +114,9 @@ fn parse(args: &[String]) -> Option<Cli> {
         retransmit_budget: None,
         rate_pps: 100_000,
         metrics_out: None,
+        metrics_format: None,
+        trace_out: None,
+        trace_summary: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -132,6 +145,15 @@ fn parse(args: &[String]) -> Option<Cli> {
             "--retransmit-budget" => cli.retransmit_budget = Some(it.next()?.parse().ok()?),
             "--rate-pps" => cli.rate_pps = it.next()?.parse().ok()?,
             "--metrics-out" => cli.metrics_out = Some(PathBuf::from(it.next()?)),
+            "--metrics-format" => {
+                cli.metrics_format = Some(match it.next()?.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" | "prometheus" => MetricsFormat::Prometheus,
+                    _ => return None,
+                })
+            }
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(it.next()?)),
+            "--trace-summary" => cli.trace_summary = true,
             _ => return None,
         }
     }
@@ -168,12 +190,49 @@ fn metrics_registry(cli: &Cli) -> Option<Arc<MetricsRegistry>> {
     cli.metrics_out.as_ref().map(|_| MetricsRegistry::shared())
 }
 
-/// Writes the registry JSON to the `--metrics-out` path, if both are set.
+/// Writes the registry to the `--metrics-out` path, if both are set. The
+/// format is `--metrics-format` when given, else inferred from a `.prom`
+/// extension, defaulting to JSON.
 fn write_metrics(cli: &Cli, registry: &Option<Arc<MetricsRegistry>>) -> Result<(), String> {
     if let (Some(path), Some(registry)) = (&cli.metrics_out, registry) {
-        std::fs::write(path, registry.to_json())
+        let format = cli.metrics_format.unwrap_or_else(|| {
+            if path.extension().is_some_and(|e| e == "prom") {
+                MetricsFormat::Prometheus
+            } else {
+                MetricsFormat::Json
+            }
+        });
+        let (body, label) = match format {
+            MetricsFormat::Json => (registry.to_json(), "json"),
+            MetricsFormat::Prometheus => (registry.to_prometheus(), "prometheus"),
+        };
+        std::fs::write(path, body)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        eprintln!("metrics written to {}", path.display());
+        eprintln!("metrics written to {} ({label})", path.display());
+    }
+    Ok(())
+}
+
+/// Creates a trace sink when `--trace-out` or `--trace-summary` was given.
+fn trace_sink(cli: &Cli) -> Option<Arc<TraceSink>> {
+    (cli.trace_out.is_some() || cli.trace_summary).then(TraceSink::shared)
+}
+
+/// Writes the Chrome trace and/or prints the summary table, per the flags.
+fn write_trace(cli: &Cli, sink: &Option<Arc<TraceSink>>) -> Result<(), String> {
+    let Some(sink) = sink else { return Ok(()) };
+    if let Some(path) = &cli.trace_out {
+        std::fs::write(path, sink.to_chrome_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "trace written to {} ({} spans, {} dropped)",
+            path.display(),
+            sink.len(),
+            sink.dropped()
+        );
+    }
+    if cli.trace_summary {
+        println!("\n{}", sink.render_summary());
     }
     Ok(())
 }
@@ -181,6 +240,7 @@ fn write_metrics(cli: &Cli, registry: &Option<Arc<MetricsRegistry>>) -> Result<(
 fn cmd_generate(cli: &Cli) -> Result<(), String> {
     let seeds = load_seeds(cli)?;
     let metrics = metrics_registry(cli);
+    let trace = trace_sink(cli);
     let outcome = SixGen::new(
         seeds,
         Config {
@@ -190,6 +250,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
             rng_seed: cli.rng_seed,
             time_limit: cli.time_limit,
             metrics: metrics.clone(),
+            trace: trace.clone(),
             ..Config::default()
         },
     )
@@ -202,6 +263,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
         outcome.stats.termination,
     );
     write_metrics(cli, &metrics)?;
+    write_trace(cli, &trace)?;
     write_targets(cli, outcome.targets.as_slice())
 }
 
@@ -297,6 +359,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         None => RetryPolicy::Immediate,
     };
     let metrics = metrics_registry(cli);
+    let trace = trace_sink(cli);
     let probe_config = ProbeConfig {
         loss: cli.loss,
         retries: cli.retries,
@@ -306,6 +369,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         retry,
         retransmit_budget: cli.retransmit_budget,
         metrics: metrics.clone(),
+        trace: trace.clone(),
     };
     // Reject a bad scanner config before spending time on generation.
     probe_config.validate().map_err(|e| e.to_string())?;
@@ -347,6 +411,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
             rng_seed: cli.rng_seed,
             time_limit: cli.time_limit,
             metrics: metrics.clone(),
+            trace: trace.clone(),
             ..Config::default()
         },
     )
@@ -382,7 +447,8 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         result.hits.len(),
         result.hits.len() as f64 / internet.active_host_count().max(1) as f64 * 100.0,
     );
-    write_metrics(cli, &metrics)
+    write_metrics(cli, &metrics)?;
+    write_trace(cli, &trace)
 }
 
 fn main() -> ExitCode {

@@ -252,6 +252,139 @@ fn generate_metrics_out_emits_deterministic_json() {
 }
 
 #[test]
+fn generate_trace_out_emits_valid_chrome_json() {
+    let dir = workdir("trace");
+    let seeds = write_seeds(&dir);
+    let out = dir.join("targets.txt");
+    let trace = dir.join("run.trace.json");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--rng-seed", "42", "--out"])
+        .arg(&out)
+        .arg("--trace-out")
+        .arg(&trace)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let body = std::fs::read_to_string(&trace).expect("read trace json");
+    sixgen::obs::validate_json(&body).expect("trace parses as JSON");
+    // The export is a Chrome trace-event document with nested engine spans.
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    for name in ["\"run\"", "\"cache_fill\"", "\"select\"", "\"growth_eval\""] {
+        assert!(body.contains(name), "missing span {name}");
+    }
+    assert!(body.contains("\"cat\":\"engine\""), "{body}");
+    assert!(body.contains("\"dropped_spans\""), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tracing_does_not_perturb_generated_targets() {
+    let dir = workdir("trace-determinism");
+    let seeds = write_seeds(&dir);
+    let run = |tag: &str, traced: bool| {
+        let out = dir.join(format!("targets-{tag}.txt"));
+        let mut cmd = bin();
+        cmd.args(["generate", "--seeds"])
+            .arg(&seeds)
+            .args(["--budget", "200", "--rng-seed", "7", "--out"])
+            .arg(&out);
+        if traced {
+            cmd.arg("--trace-out").arg(dir.join(format!("{tag}.trace.json")));
+        }
+        let status = cmd.status().expect("run sixgen");
+        assert!(status.success());
+        std::fs::read_to_string(&out).expect("read targets")
+    };
+    let plain = run("plain", false);
+    let traced = run("traced", true);
+    assert_eq!(plain, traced, "tracing changed the generated targets");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_trace_summary_prints_table() {
+    let dir = workdir("trace-summary");
+    let seeds = write_seeds(&dir);
+    let output = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "200", "--trace-summary", "--out"])
+        .arg(dir.join("targets.txt"))
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("engine/run"), "{stdout}");
+    assert!(stdout.contains("p99"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_out_prom_extension_selects_prometheus() {
+    let dir = workdir("prom");
+    let seeds = write_seeds(&dir);
+    let metrics = dir.join("metrics.prom");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--out"])
+        .arg(dir.join("targets.txt"))
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let body = std::fs::read_to_string(&metrics).expect("read prom");
+    assert!(body.contains("# TYPE sixgen_engine_runs_total counter"), "{body}");
+    assert!(body.contains("sixgen_engine_candidate_set_size_bucket"), "{body}");
+    assert!(body.contains("le=\"+Inf\""), "{body}");
+    assert!(body.contains("_sum"), "{body}");
+    assert!(body.contains("_count"), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_format_flag_overrides_extension() {
+    let dir = workdir("prom-flag");
+    let seeds = write_seeds(&dir);
+    let metrics = dir.join("metrics.json");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "200", "--metrics-format", "prom", "--out"])
+        .arg(dir.join("targets.txt"))
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let body = std::fs::read_to_string(&metrics).expect("read prom");
+    assert!(body.starts_with("# "), "not prometheus text: {body}");
+    assert!(body.contains("sixgen_engine_runs_total"), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_trace_covers_prober_spans() {
+    let dir = workdir("sim-trace");
+    let trace = dir.join("sim.trace.json");
+    let output = bin()
+        .args(["simulate", "--hosts", "100", "--budget", "1000", "--trace-out"])
+        .arg(&trace)
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let body = std::fs::read_to_string(&trace).expect("read trace");
+    sixgen::obs::validate_json(&body).expect("trace parses as JSON");
+    assert!(body.contains("\"cat\":\"prober\""), "{body}");
+    assert!(body.contains("\"scan\""), "{body}");
+    assert!(body.contains("\"cat\":\"engine\""), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let status = bin().status().expect("run sixgen");
     assert_eq!(status.code(), Some(2));
