@@ -19,7 +19,9 @@
 //!   substrate and by /96-granularity alias detection.
 //! * [`NybbleTree`] — the 16-ary trie of §5.5 of the paper, supporting
 //!   "count/iterate the seeds inside this range" queries without scanning
-//!   the full seed set.
+//!   the full seed set, plus the fused growth-candidate query
+//!   ([`NybbleTree::growth_candidates`]) that finds, deduplicates, and
+//!   density-counts a cluster's candidate growths in one walk.
 //! * [`U256`] — minimal 256-bit unsigned arithmetic so that seed densities
 //!   (`count / range size`, with range sizes up to 2¹²⁸) can be compared
 //!   *exactly* by cross-multiplication rather than through lossy floats.
@@ -65,8 +67,8 @@ pub use address::NybbleAddr;
 pub use error::{AddrParseError, ParseErrorKind};
 pub use nybble::{NybbleSet, NYBBLE_COUNT};
 pub use prefix::Prefix;
-pub use range::{Range, RangeIter, RangeSampler};
-pub use tree::NybbleTree;
+pub use range::{PackedMasks, Range, RangeIter, RangeSampler};
+pub use tree::{CandidateGroup, GrowthCandidates, NybbleTree};
 pub use u256::U256;
 
 /// Compares two densities `a_count / a_size` and `b_count / b_size` exactly.
@@ -91,6 +93,39 @@ pub fn compare_density(
     b_size: u128,
 ) -> core::cmp::Ordering {
     debug_assert!(a_size > 0 && b_size > 0, "range sizes are always positive");
+    // Integer fast paths first. Equal counts or equal sizes reduce the
+    // cross-multiplication to a single comparison of the other component —
+    // and they dominate real workloads: the engine's per-round selection
+    // scan compares thousands of cached growths whose counts and sizes
+    // collide constantly (every singleton growing into the same-shaped
+    // neighborhood ties exactly).
+    if a_count == b_count {
+        return if a_count == 0 {
+            core::cmp::Ordering::Equal
+        } else {
+            b_size.cmp(&a_size)
+        };
+    }
+    if a_size == b_size {
+        return a_count.cmp(&b_count);
+    }
+    // Next, compare the cross-products in f64. Each computed product
+    // carries at most three roundings (two u64/u128→f64 conversions and
+    // one multiply), a combined relative error under 4·2⁻⁵³ ≈ 4.5e-16, so
+    // a relative gap above 1e-12 between the two products decides the
+    // exact comparison with orders of magnitude to spare. Near-ties —
+    // including all exact ties, which the engine's selection scan must
+    // detect exactly to keep its tie-break stream intact — fall through to
+    // the exact 256-bit comparison.
+    let lhs_f = a_count as f64 * b_size as f64;
+    let rhs_f = b_count as f64 * a_size as f64;
+    if (lhs_f - rhs_f).abs() > lhs_f.max(rhs_f) * 1e-12 {
+        return if lhs_f > rhs_f {
+            core::cmp::Ordering::Greater
+        } else {
+            core::cmp::Ordering::Less
+        };
+    }
     let lhs = U256::mul_u128(a_count as u128, b_size);
     let rhs = U256::mul_u128(b_count as u128, a_size);
     lhs.cmp(&rhs)

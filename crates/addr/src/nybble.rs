@@ -33,6 +33,46 @@ pub(crate) fn nybble_nonzero_mask(x: u128) -> u128 {
     nybble_nonzero_lsb(x) * 0xF
 }
 
+/// Compresses the non-zero nybbles of `x` into a 32-bit position mask: bit
+/// `k` of the result is set iff the nybble at bit-shift `4*k` of `x` is
+/// non-zero. In [`NybbleAddr`](crate::NybbleAddr) terms bit `k` corresponds
+/// to nybble *position* `31 - k` (position 0 is the most significant
+/// nybble).
+///
+/// This is the word-parallel half of a range *mismatch signature*
+/// ([`Range::mismatch_signature`](crate::Range::mismatch_signature)):
+/// applied to `(addr ^ fixed_values) & fixed_mask` it yields, in ~15 word
+/// operations, the set of fixed positions at which `addr` deviates from a
+/// range — no per-nybble loop.
+#[inline]
+pub(crate) fn nybble_nonzero_positions(x: u128) -> u32 {
+    // One flag bit per nybble, at bit 4k.
+    let y = nybble_nonzero_lsb(x);
+    // Successive gather: halve the stride of the flag bits each step.
+    // After step i, each 2^(i+3)-bit lane holds its flags contiguously at
+    // its low end.
+    let y = (y | (y >> 3)) & 0x0303_0303_0303_0303_0303_0303_0303_0303; // 2 bits / u8
+    let y = (y | (y >> 6)) & 0x000F_000F_000F_000F_000F_000F_000F_000F; // 4 bits / u16
+    let y = (y | (y >> 12)) & 0x0000_00FF_0000_00FF_0000_00FF_0000_00FF; // 8 bits / u32
+    let y = (y | (y >> 24)) & 0x0000_0000_0000_FFFF_0000_0000_0000_FFFF; // 16 bits / u64
+    ((y | (y >> 48)) & 0xFFFF_FFFF) as u32
+}
+
+/// Inverse of [`nybble_nonzero_positions`] as a mask: expands each set bit
+/// `k` of a 32-bit position mask to a `0xF` nybble at bit-shift `4*k`.
+#[inline]
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn position_nybble_mask(positions: u32) -> u128 {
+    let mut mask = 0u128;
+    let mut bits = positions;
+    while bits != 0 {
+        let k = bits.trailing_zeros();
+        mask |= 0xFu128 << (4 * k);
+        bits &= bits - 1;
+    }
+    mask
+}
+
 /// The set of hexadecimal values a single nybble position may take.
 ///
 /// Represented as a 16-bit bitmask: bit `v` set means digit `v` is allowed.
@@ -255,16 +295,31 @@ mod tests {
         for &x in &samples {
             let mut count = 0;
             let mut mask = 0u128;
+            let mut positions = 0u32;
             for k in 0..32 {
                 let nyb = (x >> (4 * k)) & 0xF;
                 if nyb != 0 {
                     count += 1;
                     mask |= 0xFu128 << (4 * k);
+                    positions |= 1 << k;
                 }
             }
             assert_eq!(count_nonzero_nybbles(x), count, "count for {x:#x}");
             assert_eq!(nybble_nonzero_mask(x), mask, "mask for {x:#x}");
+            assert_eq!(nybble_nonzero_positions(x), positions, "positions for {x:#x}");
         }
+    }
+
+    #[test]
+    fn nonzero_positions_single_nybbles() {
+        // Every single-nybble value maps to exactly its own bit.
+        for k in 0..32 {
+            for v in 1u128..=0xF {
+                assert_eq!(nybble_nonzero_positions(v << (4 * k)), 1 << k);
+            }
+        }
+        assert_eq!(nybble_nonzero_positions(0), 0);
+        assert_eq!(nybble_nonzero_positions(u128::MAX), u32::MAX);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::address::NybbleAddr;
 use crate::error::AddrParseError;
-use crate::nybble::{count_nonzero_nybbles, NybbleSet, NYBBLE_COUNT};
+use crate::nybble::{count_nonzero_nybbles, nybble_nonzero_positions, NybbleSet, NYBBLE_COUNT};
 use rand::Rng;
 use std::collections::HashSet;
 use std::str::FromStr;
@@ -160,42 +160,82 @@ impl Range {
         d
     }
 
+    /// The *mismatch signature* of `addr` against this range: a 32-bit
+    /// position mask with bit `31 - i` set iff nybble position `i`'s set
+    /// does not contain the address's value (so bit `k` covers the nybble
+    /// at bit-shift `4*k` of the packed `u128`, and
+    /// `signature.count_ones() == self.distance(addr)`).
+    ///
+    /// The fixed positions are resolved word-parallel (XOR + nybble
+    /// collapse, no per-nybble loop); only the short partial-position list
+    /// is checked iteratively. Two addresses with equal signatures induce
+    /// the same [`Range::expand_loose`] result, which is what lets growth
+    /// evaluation dedup candidate seeds at the tree level.
+    #[inline]
+    pub fn mismatch_signature(&self, addr: NybbleAddr) -> u32 {
+        let mut sig = nybble_nonzero_positions((addr.bits() ^ self.fixed_values) & self.fixed_mask);
+        for &i in &self.partial {
+            let i = i as usize;
+            if !self.sets[i].contains(addr.nybble(i)) {
+                sig |= 1 << (NYBBLE_COUNT - 1 - i);
+            }
+        }
+        sig
+    }
+
+    /// Widens every position named by `signature` (same bit convention as
+    /// [`Range::mismatch_signature`]) to a full `?` wildcard — the loose
+    /// expansion induced by any address with that mismatch signature.
+    ///
+    /// A zero signature returns a clone.
+    pub fn widen_positions(&self, signature: u32) -> Range {
+        if signature == 0 {
+            return self.clone();
+        }
+        let mut sets = self.sets;
+        let mut bits = signature;
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            sets[NYBBLE_COUNT - 1 - k] = NybbleSet::FULL;
+            bits &= bits - 1;
+        }
+        Range::from_sets(sets)
+    }
+
+    /// Inserts, at every position named by `signature`, the corresponding
+    /// nybble of the packed address `bits` — the tight expansion induced by
+    /// any address matching `bits` at those positions (bit `k` of the
+    /// signature selects the nybble at bit-shift `4*k`).
+    ///
+    /// A zero signature returns a clone.
+    pub fn insert_position_values(&self, signature: u32, bits: u128) -> Range {
+        if signature == 0 {
+            return self.clone();
+        }
+        let mut sets = self.sets;
+        let mut sig = signature;
+        while sig != 0 {
+            let k = sig.trailing_zeros() as usize;
+            let i = NYBBLE_COUNT - 1 - k;
+            sets[i] = sets[i].insert(((bits >> (4 * k)) & 0xF) as u8);
+            sig &= sig - 1;
+        }
+        Range::from_sets(sets)
+    }
+
     /// Expands the range to cover `addr`, turning every mismatching
     /// position into a **full wildcard** — loose clustering (§5.3/§6.3).
     ///
     /// Positions that already contain the address's value are unchanged, so
     /// expanding by a member address returns a clone.
     pub fn expand_loose(&self, addr: NybbleAddr) -> Range {
-        let mut sets = self.sets;
-        let mut changed = false;
-        for (i, set) in sets.iter_mut().enumerate() {
-            if !set.contains(addr.nybble(i)) {
-                *set = NybbleSet::FULL;
-                changed = true;
-            }
-        }
-        if !changed {
-            return self.clone();
-        }
-        Range::from_sets(sets)
+        self.widen_positions(self.mismatch_signature(addr))
     }
 
     /// Expands the range to cover `addr`, inserting only the address's value
     /// at each mismatching position — tight clustering (§5.3/§6.3).
     pub fn expand_tight(&self, addr: NybbleAddr) -> Range {
-        let mut sets = self.sets;
-        let mut changed = false;
-        for (i, set) in sets.iter_mut().enumerate() {
-            let v = addr.nybble(i);
-            if !set.contains(v) {
-                *set = set.insert(v);
-                changed = true;
-            }
-        }
-        if !changed {
-            return self.clone();
-        }
-        Range::from_sets(sets)
+        self.insert_position_values(self.mismatch_signature(addr), addr.bits())
     }
 
     /// Converts to the loose form: every dynamic position becomes a full
@@ -230,6 +270,16 @@ impl Range {
             .iter()
             .zip(other.sets.iter())
             .all(|(a, b)| a.is_subset(*b))
+    }
+
+    /// Packs the 32 per-position membership masks into four 128-bit words
+    /// for word-parallel subset tests (see [`PackedMasks`]).
+    pub fn packed_masks(&self) -> PackedMasks {
+        let mut words = [0u128; 4];
+        for (i, set) in self.sets.iter().enumerate() {
+            words[i / 8] |= (set.mask() as u128) << ((i % 8) * 16);
+        }
+        PackedMasks { words }
     }
 
     /// `true` if the two ranges share at least one address.
@@ -455,6 +505,32 @@ pub struct RangeSampler {
     drawn: HashSet<NybbleAddr>,
 }
 
+/// A [`Range`]'s 32 per-position membership masks packed into four 128-bit
+/// words (eight 16-bit nybble-set masks per word).
+///
+/// Per position, `a ⊆ b` is `mask_a & !mask_b == 0`; packing tests eight
+/// positions per `u128` AND-NOT, so a full subset test is four word ops
+/// instead of a 32-iteration loop. The engine's subsumption scan — every
+/// live cluster tested against each newly grown range, every round — keeps
+/// one `PackedMasks` per cluster to make that scan cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedMasks {
+    words: [u128; 4],
+}
+
+impl PackedMasks {
+    /// `true` if every per-position set of `self` is a subset of the
+    /// corresponding set of `other`. Agrees exactly with
+    /// [`Range::is_subset`] on the source ranges.
+    #[inline]
+    pub fn is_subset(&self, other: &PackedMasks) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
 impl RangeSampler {
     /// Creates a sampler over `range`.
     pub fn new(range: Range) -> RangeSampler {
@@ -609,6 +685,52 @@ mod tests {
         assert!(grown.contains(a("2001:db8::1234")));
         assert!(!grown.contains(a("2001:db8::1231")));
         assert!(!grown.is_loose());
+    }
+
+    #[test]
+    fn mismatch_signature_matches_per_position_scan() {
+        for (range_text, addr_text) in [
+            ("2001:db8::5?", "2001:db8::51"),
+            ("2001:db8::5?", "2001:db8::161"),
+            ("2001:db8::[1-3]", "2002:db8::5"),
+            ("2001:db8::1230", "2001:db8::1204"),
+            ("::", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"),
+            ("?:2::3:?", "4:2::9:1"),
+        ] {
+            let range = r(range_text);
+            let addr = a(addr_text);
+            let mut expected = 0u32;
+            for i in 0..NYBBLE_COUNT {
+                if !range.set(i).contains(addr.nybble(i)) {
+                    expected |= 1 << (NYBBLE_COUNT - 1 - i);
+                }
+            }
+            let sig = range.mismatch_signature(addr);
+            assert_eq!(sig, expected, "{range_text} vs {addr_text}");
+            assert_eq!(sig.count_ones(), range.distance(addr));
+        }
+    }
+
+    #[test]
+    fn signature_expansions_match_address_expansions() {
+        for (range_text, addr_text) in [
+            ("2001:db8::1230", "2001:db8::1204"),
+            ("2001:db8::5?", "2001:db8::161"),
+            ("2001:db8::[1-3]", "2002:db8::5"),
+        ] {
+            let range = r(range_text);
+            let addr = a(addr_text);
+            let sig = range.mismatch_signature(addr);
+            assert_eq!(range.widen_positions(sig), range.expand_loose(addr));
+            assert_eq!(
+                range.insert_position_values(sig, addr.bits()),
+                range.expand_tight(addr)
+            );
+        }
+        // Zero signature: both are clones.
+        let range = r("2001:db8::?");
+        assert_eq!(range.widen_positions(0), range);
+        assert_eq!(range.insert_position_values(0, u128::MAX), range);
     }
 
     #[test]

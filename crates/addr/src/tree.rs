@@ -15,6 +15,7 @@
 use crate::address::NybbleAddr;
 use crate::nybble::NYBBLE_COUNT;
 use crate::range::Range;
+use std::collections::HashMap;
 
 /// Index of a node in the arena. `u32` keeps nodes compact; 4 G nodes is
 /// far beyond any realistic seed corpus.
@@ -26,6 +27,98 @@ struct Node {
     children: Vec<(u8, NodeId)>,
     /// Number of addresses stored in this subtree.
     count: u32,
+}
+
+/// A deduplicated group of candidate seeds sharing one growth key, from
+/// [`NybbleTree::growth_candidates`]. All candidates in a group induce the
+/// same expanded range when clustered into the queried range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateGroup {
+    /// The shared mismatch signature against the queried range
+    /// ([`Range::mismatch_signature`] bit convention: bit `k` is the nybble
+    /// at bit-shift `4*k`).
+    pub signature: u32,
+    /// The candidates' packed nybble values at the signature positions
+    /// (zero elsewhere). Always `0` when the query grouped by signature
+    /// alone (loose clustering, where mismatch values do not shape the
+    /// expanded range).
+    pub values: u128,
+    /// Number of stored addresses carrying this key.
+    pub count: u64,
+}
+
+/// Result of [`NybbleTree::growth_candidates`]: everything one cluster
+/// growth evaluation needs, from a single tree walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowthCandidates {
+    /// Minimum nybble Hamming distance from the range to a stored address
+    /// outside it (`≥ 1`).
+    pub distance: u32,
+    /// Number of stored addresses *inside* the queried range (signature
+    /// `0`), counted in the same walk. Because all candidates sit at
+    /// minimum distance, a group's expanded range holds exactly
+    /// `members + group.count` stored addresses.
+    pub members: u64,
+    /// The distinct candidate groups at `distance`, in first-visit order
+    /// of the traversal (the order [`NybbleTree::nearest_outside`] yields
+    /// candidates).
+    pub groups: Vec<CandidateGroup>,
+}
+
+/// Mutable traversal state for [`NybbleTree::growth_candidates`].
+#[derive(Debug)]
+struct GrowthSearch {
+    group_by_values: bool,
+    /// One past the deepest non-full-wildcard position of the queried
+    /// range: below it signatures are final and whole subtrees finalize
+    /// from their cached counts.
+    last: usize,
+    best: u32,
+    members: u64,
+    groups: Vec<CandidateGroup>,
+    /// Growth key → index into `groups`, for O(1) merge without disturbing
+    /// first-visit order.
+    index: HashMap<(u32, u128), usize, std::hash::BuildHasherDefault<GrowthKeyHasher>>,
+}
+
+/// Minimal multiply-rotate hasher for the growth-key map. The keys are
+/// short integers hashed once per finalized subtree in the hot traversal;
+/// the default SipHash costs more than the rest of the finalization
+/// combined. Not DoS-resistant — fine for a bounded, non-adversarial map
+/// that lives for one query.
+#[derive(Default)]
+struct GrowthKeyHasher(u64);
+
+impl GrowthKeyHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for GrowthKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
 }
 
 /// A set of IPv6 addresses stored as a 16-ary trie over nybbles.
@@ -217,6 +310,147 @@ impl NybbleTree {
         let mut path = NybbleAddr::UNSPECIFIED;
         self.nearest_rec(0, 0, 0, range, &mut path, &mut best, &mut out);
         (!out.is_empty()).then_some((best, out))
+    }
+
+    /// Fused candidate search and density counting (§5.5): one
+    /// branch-and-bound walk that finds the minimum distance from `range`
+    /// to any stored address outside it, **deduplicates** those candidate
+    /// addresses by growth key, and counts — in the same walk, from cached
+    /// subtree sizes — both the addresses inside `range` and the addresses
+    /// behind each key.
+    ///
+    /// The growth key is the candidate's mismatch *signature* (the set of
+    /// positions at which it deviates from the range, as a
+    /// [`Range::mismatch_signature`] bitmask), optionally extended by the
+    /// candidate's nybble values at those positions (`group_by_values`,
+    /// for tight clustering where inserted values shape the grown range).
+    /// Every candidate with the same key induces the same expanded range,
+    /// so one [`CandidateGroup`] per key replaces the per-candidate address
+    /// vector of [`NybbleTree::nearest_outside`] — and because candidates
+    /// sit at *minimum* distance, an address lies inside a group's expanded
+    /// range iff it is a member of `range` (signature `0`) or carries
+    /// exactly the group's key. Each group's expanded-range seed count is
+    /// therefore `members + group.count`, with no per-range re-walk.
+    ///
+    /// Groups are returned in first-visit order of a fixed traversal
+    /// (matching children before mismatching ones, values ascending), which
+    /// is exactly the candidate order [`NybbleTree::nearest_outside`]
+    /// produces — callers that iterate groups in order evaluate ranges in
+    /// the same sequence as the unfused search-then-count implementation.
+    ///
+    /// Returns `None` if every stored address lies inside the range.
+    pub fn growth_candidates(
+        &self,
+        range: &Range,
+        group_by_values: bool,
+    ) -> Option<GrowthCandidates> {
+        // Below the deepest constrained position every set is a full
+        // wildcard: no further mismatch is possible, the signature is
+        // final, and the whole subtree contributes its cached count.
+        let last = (0..NYBBLE_COUNT)
+            .rev()
+            .find(|&i| !range.set(i).is_full())
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let mut state = GrowthSearch {
+            group_by_values,
+            last,
+            best: (NYBBLE_COUNT + 1) as u32,
+            members: 0,
+            groups: Vec::new(),
+            index: HashMap::default(),
+        };
+        self.growth_rec(0, 0, 0, 0, range, &mut state);
+        (!state.groups.is_empty()).then_some(GrowthCandidates {
+            distance: state.best,
+            members: state.members,
+            groups: state.groups,
+        })
+    }
+
+    fn growth_rec(
+        &self,
+        node: NodeId,
+        depth: usize,
+        sig: u32,
+        values: u128,
+        range: &Range,
+        state: &mut GrowthSearch,
+    ) {
+        let mismatches = sig.count_ones();
+        if mismatches > state.best {
+            return;
+        }
+        if depth >= state.last {
+            let count = self.nodes[node as usize].count as u64;
+            if mismatches == 0 {
+                state.members += count;
+                return;
+            }
+            let key = (sig, if state.group_by_values { values } else { 0 });
+            match mismatches.cmp(&state.best) {
+                core::cmp::Ordering::Less => {
+                    state.best = mismatches;
+                    state.groups.clear();
+                    state.index.clear();
+                    state.index.insert(key, 0);
+                    state.groups.push(CandidateGroup {
+                        signature: key.0,
+                        values: key.1,
+                        count,
+                    });
+                }
+                core::cmp::Ordering::Equal => match state.index.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        state.groups[*slot.get()].count += count;
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(state.groups.len());
+                        state.groups.push(CandidateGroup {
+                            signature: key.0,
+                            values: key.1,
+                            count,
+                        });
+                    }
+                },
+                core::cmp::Ordering::Greater => {}
+            }
+            return;
+        }
+        let set = range.set(depth);
+        let bit = 1u32 << (NYBBLE_COUNT - 1 - depth);
+        let shift = (NYBBLE_COUNT - 1 - depth) * 4;
+        // Matching children first so the distance bound tightens early —
+        // and so group order matches `nearest_outside`'s candidate order.
+        // One pass over the child list: matching children recurse
+        // immediately, mismatching ones are deferred to a fixed stack
+        // buffer (at most 16 children) and visited afterwards in the same
+        // ascending-value order the two-pass formulation produced.
+        let mut deferred = [(0u8, 0 as NodeId); 16];
+        let mut deferred_len = 0;
+        for &(value, child) in &self.nodes[node as usize].children {
+            if set.contains(value) {
+                self.growth_rec(child, depth + 1, sig, values, range, state);
+            } else {
+                deferred[deferred_len] = (value, child);
+                deferred_len += 1;
+            }
+        }
+        for &(value, child) in &deferred[..deferred_len] {
+            // `best` only tightens, so once a one-more-mismatch descent is
+            // hopeless every remaining deferred child is too.
+            if mismatches + 1 > state.best {
+                break;
+            }
+            self.growth_rec(
+                child,
+                depth + 1,
+                sig | bit,
+                values | (value as u128) << shift,
+                range,
+                state,
+            );
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -435,6 +669,135 @@ mod tests {
                 naive,
                 "{range_text}"
             );
+        }
+    }
+
+    /// Reference implementation of the fused query: candidate search via
+    /// `nearest_outside`, grouping via per-candidate signatures, counting
+    /// via one `count_in_range` per expanded range.
+    fn naive_growth_candidates(
+        tree: &NybbleTree,
+        range: &Range,
+        group_by_values: bool,
+    ) -> Option<GrowthCandidates> {
+        let (distance, seeds) = tree.nearest_outside(range)?;
+        let mut groups: Vec<CandidateGroup> = Vec::new();
+        for seed in seeds {
+            let sig = range.mismatch_signature(seed);
+            let values = if group_by_values {
+                seed.bits() & crate::nybble::position_nybble_mask(sig)
+            } else {
+                0
+            };
+            match groups
+                .iter_mut()
+                .find(|g| g.signature == sig && g.values == values)
+            {
+                Some(g) => g.count += 1,
+                None => groups.push(CandidateGroup {
+                    signature: sig,
+                    values,
+                    count: 1,
+                }),
+            }
+        }
+        Some(GrowthCandidates {
+            distance,
+            members: tree.count_in_range(range),
+            groups,
+        })
+    }
+
+    #[test]
+    fn growth_candidates_simple() {
+        // Cluster at ::11: candidates ::19 and ::1b share the mismatch
+        // signature (last nybble), ::99 is farther.
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::11"),
+            a("2001:db8::19"),
+            a("2001:db8::99"),
+            a("2001:db8::1b"),
+        ]);
+        let range = Range::from_address(a("2001:db8::11"));
+        let got = tree.growth_candidates(&range, false).unwrap();
+        assert_eq!(got.distance, 1);
+        assert_eq!(got.members, 1);
+        assert_eq!(got.groups.len(), 1, "one signature group");
+        assert_eq!(got.groups[0].signature, 1, "last nybble is bit 0");
+        assert_eq!(got.groups[0].count, 2);
+        assert_eq!(got.groups[0].values, 0, "values zeroed without grouping");
+        // Grouped by values, the two candidates split.
+        let got = tree.growth_candidates(&range, true).unwrap();
+        assert_eq!(got.groups.len(), 2);
+        assert_eq!(got.groups[0].values, 0x9, "::19 visits first");
+        assert_eq!(got.groups[1].values, 0xb);
+        assert!(got.groups.iter().all(|g| g.count == 1));
+    }
+
+    #[test]
+    fn growth_candidates_counts_match_expanded_range_counts() {
+        let tree = NybbleTree::from_addresses([
+            a("2001:db8::100"),
+            a("2001:db8::105"),
+            a("2001:db8::109"),
+            a("2001:db8::205"),
+        ]);
+        let range = Range::from_address(a("2001:db8::100"));
+        let got = tree.growth_candidates(&range, false).unwrap();
+        for group in &got.groups {
+            let expanded = range.widen_positions(group.signature);
+            assert_eq!(
+                got.members + group.count,
+                tree.count_in_range(&expanded),
+                "fused count must equal a fresh count of {expanded}"
+            );
+        }
+        let got = tree.growth_candidates(&range, true).unwrap();
+        for group in &got.groups {
+            let expanded = range.insert_position_values(group.signature, group.values);
+            assert_eq!(got.members + group.count, tree.count_in_range(&expanded));
+        }
+    }
+
+    #[test]
+    fn growth_candidates_none_when_all_inside() {
+        let tree = NybbleTree::from_addresses([a("2001:db8::1"), a("2001:db8::2")]);
+        assert!(tree.growth_candidates(&r("2001:db8::?"), false).is_none());
+        assert!(tree.growth_candidates(&Range::full(), false).is_none());
+        assert!(NybbleTree::new()
+            .growth_candidates(&r("2001:db8::?"), false)
+            .is_none());
+    }
+
+    #[test]
+    fn growth_candidates_matches_naive_randomized() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+            let addrs: Vec<NybbleAddr> = (0..80)
+                .map(|_| {
+                    let noise: u128 =
+                        rng.gen::<u32>() as u128 | ((rng.gen::<u8>() as u128) << 64);
+                    NybbleAddr::from_bits(base | noise)
+                })
+                .collect();
+            let tree = NybbleTree::from_addresses(addrs.iter().copied());
+            let center = addrs[trial % addrs.len()];
+            let range = if trial % 2 == 0 {
+                Range::from_address(center)
+                    .expand_loose(center.with_nybble(31, center.nybble(31) ^ 1))
+            } else {
+                Range::from_address(center)
+                    .expand_tight(center.with_nybble(24, center.nybble(24) ^ 3))
+            };
+            for group_by_values in [false, true] {
+                let fused = tree.growth_candidates(&range, group_by_values);
+                let naive = naive_growth_candidates(&tree, &range, group_by_values);
+                // The naive reference visits candidates in the same
+                // traversal order, so entire structs must agree — including
+                // group order.
+                assert_eq!(fused, naive, "trial {trial} values={group_by_values}");
+            }
         }
     }
 

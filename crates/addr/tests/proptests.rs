@@ -140,6 +140,17 @@ proptest! {
     }
 
     #[test]
+    fn packed_masks_subset_matches_range_subset(r1 in arb_range(), r2 in arb_range()) {
+        let p1 = r1.packed_masks();
+        let p2 = r2.packed_masks();
+        prop_assert_eq!(p1.is_subset(&p2), r1.is_subset(&r2));
+        prop_assert_eq!(p2.is_subset(&p1), r2.is_subset(&r1));
+        prop_assert!(p1.is_subset(&p1));
+        // A range is always a subset of its loosened form.
+        prop_assert!(p1.is_subset(&r1.loosen().packed_masks()));
+    }
+
+    #[test]
     fn subset_implies_smaller_size(r1 in arb_range(), r2 in arb_range()) {
         if r1.is_subset(&r2) {
             prop_assert!(r1.size() <= r2.size());
@@ -199,6 +210,57 @@ proptest! {
     }
 
     #[test]
+    fn fused_growth_candidates_match_naive(
+        addrs in prop::collection::vec(arb_clustered_addr(), 1..60),
+        range in arb_range(),
+        tight in any::<bool>(),
+    ) {
+        // The fused single-walk growth query must agree with the naive
+        // pipeline it replaces: nearest_outside to find candidates, group
+        // them by induced expansion in first-occurrence order, and
+        // count_in_range per expanded range. This is the differential
+        // property that lets the engine swap implementations without
+        // changing a single byte of output.
+        let tree = NybbleTree::from_addresses(addrs.iter().copied());
+        let fused = tree.growth_candidates(&range, tight);
+        match tree.nearest_outside(&range) {
+            None => prop_assert!(fused.is_none()),
+            Some((d, candidates)) => {
+                let fused = fused.expect("candidates exist, so groups exist");
+                prop_assert_eq!(fused.distance, d);
+                prop_assert_eq!(fused.members, tree.count_in_range(&range));
+                let mut order: Vec<Range> = Vec::new();
+                let mut counts: Vec<u64> = Vec::new();
+                for a in candidates {
+                    let expanded = if tight { range.expand_tight(a) } else { range.expand_loose(a) };
+                    match order.iter().position(|r| *r == expanded) {
+                        Some(i) => counts[i] += 1,
+                        None => {
+                            order.push(expanded);
+                            counts.push(1);
+                        }
+                    }
+                }
+                prop_assert_eq!(fused.groups.len(), order.len());
+                for (g, (expected_range, expected_count)) in
+                    fused.groups.iter().zip(order.iter().zip(&counts))
+                {
+                    let materialized = if tight {
+                        range.insert_position_values(g.signature, g.values)
+                    } else {
+                        range.widen_positions(g.signature)
+                    };
+                    prop_assert_eq!(&materialized, expected_range);
+                    prop_assert_eq!(g.count, *expected_count);
+                    // The fusion theorem: expanded-range seed count equals
+                    // members plus the group, with no re-walk.
+                    prop_assert_eq!(fused.members + g.count, tree.count_in_range(expected_range));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prefix_contains_consistent_with_range(addr in arb_addr(), len4 in 0u8..=32) {
         let len = len4 * 4;
         let prefix = Prefix::new(addr, len);
@@ -244,6 +306,43 @@ proptest! {
         if (c1 as u128) * s2 < (1u128 << 53) && (c2 as u128) * s1 < (1u128 << 53) {
             prop_assert_eq!(exact, float);
         }
+    }
+
+    #[test]
+    fn density_fast_path_matches_exact_comparison(
+        a_count in any::<u64>(), a_size_raw in any::<u128>(),
+        b_count in any::<u64>(), b_size_raw in any::<u128>(),
+        tie_count in 1u64..1_000_000, tie_size in 1u128..1_000_000_000,
+        k in 1u64..1_000,
+    ) {
+        // compare_density's f64 fast path must never contradict the exact
+        // 256-bit comparison — on arbitrary inputs and on constructed
+        // exact ties/near-ties, which must reach the exact fallback.
+        let a_size = a_size_raw.max(1);
+        let b_size = b_size_raw.max(1);
+        let exact = |ac: u64, asz: u128, bc: u64, bsz: u128| {
+            U256::mul_u128(ac as u128, bsz).cmp(&U256::mul_u128(bc as u128, asz))
+        };
+        prop_assert_eq!(
+            compare_density(a_count, a_size, b_count, b_size),
+            exact(a_count, a_size, b_count, b_size)
+        );
+        // Exact tie: (c·k)/(s·k) == c/s.
+        let scaled_count = tie_count * k;
+        let scaled_size = tie_size * k as u128;
+        prop_assert_eq!(
+            compare_density(scaled_count, scaled_size, tie_count, tie_size),
+            core::cmp::Ordering::Equal
+        );
+        // Near-tie, off by one in the numerator: must resolve exactly.
+        prop_assert_eq!(
+            compare_density(scaled_count + 1, scaled_size, tie_count, tie_size),
+            core::cmp::Ordering::Greater
+        );
+        prop_assert_eq!(
+            compare_density(scaled_count - 1, scaled_size, tie_count, tie_size),
+            core::cmp::Ordering::Less
+        );
     }
 
     #[test]

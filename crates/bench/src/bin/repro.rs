@@ -22,6 +22,8 @@
 //!   eipranked  §7.1 budget-aware Entropy/IP ablation
 //!   faults    hit rate vs fault severity, fixed vs adaptive retries
 //!   trajectory  core perf trajectory -> BENCH_core.json
+//!   trajectory-check  validate committed BENCH_core.json (schema, 100K
+//!                     point, growth_eval p95 regression <= 25%)
 //!   all       everything above (except trajectory)
 //!
 //! OPTIONS
@@ -51,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
          [--metrics-out FILE[.prom]] [--trace-out FILE] [--trace-summary] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|all>..."
+         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|trajectory-check|all>..."
     );
     std::process::exit(2);
 }
@@ -63,7 +65,7 @@ fn static_name(name: &str) -> &'static str {
     const NAMES: &[&str] = &[
         "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
         "tight", "hosttype", "dealias", "adaptive", "budgetpolicy", "eipranked", "faults",
-        "trajectory", "all",
+        "trajectory", "trajectory-check", "all",
     ];
     NAMES
         .iter()
@@ -156,6 +158,11 @@ fn main() {
             "eipranked" => eip_ranked::run(&opts),
             "faults" => fault_severity::run(&opts),
             "trajectory" => trajectory::run(&opts),
+            "trajectory-check" => {
+                if !trajectory::check(&opts, &trajectory::default_output()) {
+                    std::process::exit(1);
+                }
+            }
             "all" => run_all(&opts),
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sixgen_addr::{NybbleAddr, NybbleTree, Range};
 use sixgen_core::{BudgetTracker, Config, SixGen};
+use sixgen_obs::MetricsRegistry;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -34,6 +35,11 @@ pub struct ScalePoint {
     pub wall_ms: f64,
     /// Median CPU time in milliseconds.
     pub cpu_ms: f64,
+    /// Median (across repeats) of the per-run p95 growth-evaluation
+    /// latency in milliseconds, from `engine/growth_eval` measured with a
+    /// fresh per-run registry. This is the hot-path number the fused
+    /// traversal optimizes and the one `trajectory-check` guards.
+    pub growth_eval_p95_ms: f64,
     /// Targets generated (identical across repeats at fixed seed).
     pub targets: u64,
 }
@@ -76,15 +82,17 @@ impl Trajectory {
     /// stable key order.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"sixgen-bench-trajectory/v1\",\n");
+        out.push_str("{\n  \"schema\": \"sixgen-bench-trajectory/v2\",\n");
         out.push_str("  \"seed_scaling\": [\n");
         for (i, p) in self.seed_scaling.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{\"seeds\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \"targets\": {}}}{}",
+                "    {{\"seeds\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
+                 \"growth_eval_p95_ms\": {:.6}, \"targets\": {}}}{}",
                 p.seeds,
                 p.wall_ms,
                 p.cpu_ms,
+                p.growth_eval_p95_ms,
                 p.targets,
                 if i + 1 < self.seed_scaling.len() { "," } else { "" }
             );
@@ -129,45 +137,77 @@ fn median(mut values: Vec<f64>) -> f64 {
     values[values.len() / 2]
 }
 
+/// One measured scaling run: wall ms, cpu ms, growth-eval p95 ms, targets.
+///
+/// Each run gets its own fresh [`MetricsRegistry`] so the p95 reflects
+/// exactly this run (the shared `--metrics-out` registry accumulates
+/// across runs and sizes, which would smear the percentile).
+fn measure_run(n: usize, rep: u64, opts: &ExperimentOptions) -> (f64, f64, f64, u64) {
+    let mut rng = StdRng::seed_from_u64(42 + rep);
+    let seeds = synthetic_seeds(n, &mut rng);
+    let registry = MetricsRegistry::shared();
+    // The budget must exceed the seed count or the run exhausts at
+    // initialization without a single growth. Scaling by 1.5× kicks in
+    // only at the 100K point (every committed size up to 30K stays under
+    // the default 50K budget), so historical points remain comparable.
+    let budget = opts.budget.max(n as u64 * 3 / 2);
+    let outcome = SixGen::new(
+        seeds,
+        Config {
+            budget,
+            threads: opts.threads,
+            rng_seed: rep,
+            metrics: Some(std::sync::Arc::clone(&registry)),
+            trace: opts.trace.clone(),
+            ..Config::default()
+        },
+    )
+    .run();
+    let p95_ms = registry
+        .time_histogram("engine/growth_eval")
+        .percentile(0.95)
+        .map(|ns| ns as f64 / 1e6)
+        .unwrap_or(0.0);
+    (
+        outcome.stats.wall_time.as_secs_f64() * 1e3,
+        outcome.stats.cpu_time.as_secs_f64() * 1e3,
+        p95_ms,
+        outcome.targets.len() as u64,
+    )
+}
+
+fn measure_point(n: usize, repeats: u64, opts: &ExperimentOptions) -> ScalePoint {
+    let mut walls = Vec::new();
+    let mut cpus = Vec::new();
+    let mut p95s = Vec::new();
+    let mut targets = 0u64;
+    for rep in 0..repeats {
+        let (wall, cpu, p95, t) = measure_run(n, rep, opts);
+        walls.push(wall);
+        cpus.push(cpu);
+        p95s.push(p95);
+        targets = t;
+    }
+    ScalePoint {
+        seeds: n,
+        wall_ms: median(walls),
+        cpu_ms: median(cpus),
+        growth_eval_p95_ms: median(p95s),
+        targets,
+    }
+}
+
 fn seed_scaling(opts: &ExperimentOptions) -> Vec<ScalePoint> {
     let sizes: &[usize] = if opts.quick {
         &[10, 100, 1_000]
     } else {
-        &[10, 100, 1_000, 5_000, 10_000, 30_000]
+        &[10, 100, 1_000, 5_000, 10_000, 30_000, 100_000]
     };
     let repeats = if opts.quick { 1 } else { 3 };
-    let mut points = Vec::with_capacity(sizes.len());
-    for &n in sizes {
-        let mut walls = Vec::new();
-        let mut cpus = Vec::new();
-        let mut targets = 0u64;
-        for rep in 0..repeats {
-            let mut rng = StdRng::seed_from_u64(42 + rep);
-            let seeds = synthetic_seeds(n, &mut rng);
-            let outcome = SixGen::new(
-                seeds,
-                Config {
-                    budget: opts.budget,
-                    threads: opts.threads,
-                    rng_seed: rep,
-                    metrics: opts.metrics.clone(),
-                    trace: opts.trace.clone(),
-                    ..Config::default()
-                },
-            )
-            .run();
-            walls.push(outcome.stats.wall_time.as_secs_f64() * 1e3);
-            cpus.push(outcome.stats.cpu_time.as_secs_f64() * 1e3);
-            targets = outcome.targets.len() as u64;
-        }
-        points.push(ScalePoint {
-            seeds: n,
-            wall_ms: median(walls),
-            cpu_ms: median(cpus),
-            targets,
-        });
-    }
-    points
+    sizes
+        .iter()
+        .map(|&n| measure_point(n, repeats, opts))
+        .collect()
 }
 
 fn budget_charge_throughput(opts: &ExperimentOptions) -> Throughput {
@@ -240,11 +280,14 @@ pub fn run(opts: &ExperimentOptions) {
 pub fn run_to(opts: &ExperimentOptions, path: &Path) {
     super::experiments::banner("Core trajectory: seed scaling, charge and tree throughput");
     let trajectory = collect(opts);
-    println!("{:>8}  {:>12}  {:>12}  {:>10}", "seeds", "wall (ms)", "cpu (ms)", "targets");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>14}  {:>10}",
+        "seeds", "wall (ms)", "cpu (ms)", "eval p95 (ms)", "targets"
+    );
     for p in &trajectory.seed_scaling {
         println!(
-            "{:>8}  {:>12.2}  {:>12.2}  {:>10}",
-            p.seeds, p.wall_ms, p.cpu_ms, p.targets
+            "{:>8}  {:>12.2}  {:>12.2}  {:>14.4}  {:>10}",
+            p.seeds, p.wall_ms, p.cpu_ms, p.growth_eval_p95_ms, p.targets
         );
     }
     println!(
@@ -255,6 +298,75 @@ pub fn run_to(opts: &ExperimentOptions, path: &Path) {
     );
     std::fs::write(path, trajectory.to_json()).expect("write trajectory json");
     println!("trajectory -> {}", path.display());
+}
+
+/// Extracts one numeric field from the seed-scaling point with the given
+/// size inside a trajectory JSON document, using the document's known
+/// one-point-per-line layout (no JSON parser in the workspace — the format
+/// is ours and stable under the schema tag).
+fn extract_point_field(json: &str, seeds: usize, field: &str) -> Option<f64> {
+    let seeds_key = format!("\"seeds\": {seeds},");
+    let field_key = format!("\"{field}\": ");
+    let line = json.lines().find(|l| l.contains(&seeds_key))?;
+    let start = line.find(&field_key)? + field_key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Fractional headroom allowed over the committed p95 before
+/// `trajectory-check` fails.
+const P95_REGRESSION_HEADROOM: f64 = 0.25;
+
+/// `repro trajectory-check` — the CI guard over the committed trajectory.
+///
+/// Asserts that the committed `BENCH_core.json` (1) carries the current
+/// schema tag, (2) contains the 100 K-seed scaling point, and (3) has not
+/// been outrun: a fresh 30 K-seed measurement's `engine/growth_eval` p95
+/// must not exceed the committed point's by more than 25 %. Returns `true`
+/// when all checks pass; the caller turns `false` into a non-zero exit.
+pub fn check(opts: &ExperimentOptions, path: &Path) -> bool {
+    super::experiments::banner("Trajectory check: committed BENCH_core.json vs fresh measurement");
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("trajectory-check: cannot read {}: {err}", path.display());
+            return false;
+        }
+    };
+    let mut ok = true;
+    if !json.contains("\"schema\": \"sixgen-bench-trajectory/v2\"") {
+        eprintln!("trajectory-check: FAIL: schema tag is not sixgen-bench-trajectory/v2");
+        ok = false;
+    }
+    if extract_point_field(&json, 100_000, "wall_ms").is_none() {
+        eprintln!("trajectory-check: FAIL: no 100000-seed scaling point committed");
+        ok = false;
+    }
+    let Some(committed_p95) = extract_point_field(&json, 30_000, "growth_eval_p95_ms") else {
+        eprintln!("trajectory-check: FAIL: no 30000-seed growth_eval_p95_ms committed");
+        return false;
+    };
+    let (wall, _cpu, fresh_p95, _targets) = measure_run(30_000, 0, opts);
+    let limit = committed_p95 * (1.0 + P95_REGRESSION_HEADROOM);
+    println!(
+        "30000 seeds: fresh growth_eval p95 {fresh_p95:.4} ms vs committed {committed_p95:.4} ms \
+         (limit {limit:.4} ms, wall {wall:.1} ms)"
+    );
+    if fresh_p95 > limit {
+        eprintln!(
+            "trajectory-check: FAIL: growth_eval p95 regressed more than {:.0}% \
+             ({fresh_p95:.4} ms > {limit:.4} ms)",
+            P95_REGRESSION_HEADROOM * 100.0
+        );
+        ok = false;
+    }
+    if ok {
+        println!("trajectory-check: OK");
+    }
+    ok
 }
 
 #[cfg(test)]
@@ -275,13 +387,40 @@ mod tests {
             vec![10, 100, 1_000]
         );
         assert!(t.seed_scaling.iter().all(|p| p.targets > 0));
+        assert!(t.seed_scaling.iter().all(|p| p.growth_eval_p95_ms >= 0.0));
         assert!(t.budget_charge.items > 0 && t.budget_charge.per_sec > 0.0);
         assert!(t.tree_query.items == 1_000 && t.tree_query.per_sec > 0.0);
         let json = t.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"sixgen-bench-trajectory/v1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"sixgen-bench-trajectory/v2\""));
         assert!(json.contains("\"seed_scaling\""));
+        assert!(json.contains("\"growth_eval_p95_ms\""));
         assert!(json.contains("\"budget_charge\""));
         assert!(json.contains("\"tree_query\""));
         assert!(json.ends_with("}\n"));
+        // The check-mode extractor round-trips the emitted document.
+        let p = &t.seed_scaling[2];
+        assert_eq!(
+            extract_point_field(&json, p.seeds, "targets"),
+            Some(p.targets as f64)
+        );
+        let wall = extract_point_field(&json, p.seeds, "wall_ms").unwrap();
+        assert!((wall - p.wall_ms).abs() < 0.001);
+        assert_eq!(extract_point_field(&json, 999, "wall_ms"), None);
+        assert_eq!(extract_point_field(&json, p.seeds, "no_such_field"), None);
+    }
+
+    #[test]
+    fn extract_point_field_parses_committed_layout() {
+        let json = "{\n  \"schema\": \"sixgen-bench-trajectory/v2\",\n  \"seed_scaling\": [\n    \
+                    {\"seeds\": 30000, \"wall_ms\": 6077.133, \"cpu_ms\": 6021.0, \
+                    \"growth_eval_p95_ms\": 0.123456, \"targets\": 50000},\n    \
+                    {\"seeds\": 100000, \"wall_ms\": 20000.5, \"cpu_ms\": 19000.0, \
+                    \"growth_eval_p95_ms\": 0.2, \"targets\": 50000}\n  ]\n}\n";
+        assert_eq!(
+            extract_point_field(json, 30_000, "growth_eval_p95_ms"),
+            Some(0.123456)
+        );
+        assert_eq!(extract_point_field(json, 100_000, "wall_ms"), Some(20000.5));
+        assert_eq!(extract_point_field(json, 10_000, "wall_ms"), None);
     }
 }

@@ -45,7 +45,7 @@ impl Cluster {
 
 /// A candidate growth of one cluster: the expanded range it would adopt and
 /// the seed count / size that determine its density.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Growth {
     /// The expanded range.
     pub range: Range,
@@ -78,7 +78,7 @@ impl Growth {
 /// feed the observability layer's candidate-set histograms. Both counts are
 /// pure functions of the seed set and cluster, so they are safe to record
 /// in the deterministic metrics section.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrowthEvaluation {
     /// The best growth, or `None` when the cluster already contains every
     /// seed (no candidate exists) — the algorithm's second termination
@@ -95,15 +95,98 @@ pub struct GrowthEvaluation {
 /// inner loop of `GrowCluster`):
 ///
 /// 1. find all non-member seeds at minimum Hamming distance from the
-///    cluster's range (the *candidate seeds*);
-/// 2. for each candidate, expand the range to cover it (loose or tight per
-///    `mode`) and count the full seed set of the expanded range with the
-///    seed tree;
+///    cluster's range (the *candidate seeds*), deduplicated at the tree
+///    level into one group per induced expansion (§5.5's fused traversal:
+///    in loose mode the expanded range depends only on the candidate's
+///    mismatch-position signature; in tight mode additionally on its
+///    values at those positions), with each group's expanded-range seed
+///    count computed in the same walk from subtree counts;
+/// 2. for each group, materialize the expanded range (loose or tight per
+///    `mode`);
 /// 3. keep the growth with maximum density, breaking ties toward smaller
 ///    ranges and then uniformly at random (via `tie_break`, a pseudo-random
 ///    stream supplied by the engine so parallel evaluation stays
 ///    deterministic).
+///
+/// The groups arrive in the same first-occurrence order the unfused
+/// [`evaluate_growth_unfused`] evaluates distinct ranges in, so both
+/// implementations draw identically from `tie_break` and return identical
+/// results — pinned by differential tests and the engine's
+/// `Config::unfused_growth` escape hatch.
 pub fn evaluate_growth(
+    cluster: &Cluster,
+    tree: &NybbleTree,
+    mode: ClusterMode,
+    mut tie_break: impl FnMut() -> u64,
+) -> GrowthEvaluation {
+    let group_by_values = matches!(mode, ClusterMode::Tight);
+    let Some(cands) = tree.growth_candidates(&cluster.range, group_by_values) else {
+        return GrowthEvaluation {
+            growth: None,
+            candidates: 0,
+            ranges_evaluated: 0,
+        };
+    };
+    let mut best: Option<Growth> = None;
+    let mut ties: u64 = 0;
+    let mut candidate_count: u64 = 0;
+    for group in &cands.groups {
+        candidate_count += group.count;
+        let range = match mode {
+            ClusterMode::Loose => cluster.range.widen_positions(group.signature),
+            ClusterMode::Tight => cluster
+                .range
+                .insert_position_values(group.signature, group.values),
+        };
+        let growth = Growth {
+            // Candidates sit at *minimum* distance, so the expanded range
+            // contains exactly the cluster's members plus this group (any
+            // other absorbed seed would itself be a closer candidate).
+            seed_count: cands.members + group.count,
+            range_size: range.size(),
+            range,
+        };
+        match &best {
+            None => {
+                best = Some(growth);
+                ties = 1;
+            }
+            Some(current) => match growth.preference(current) {
+                core::cmp::Ordering::Greater => {
+                    best = Some(growth);
+                    ties = 1;
+                }
+                core::cmp::Ordering::Equal => {
+                    // Reservoir sampling over equally-good growths: replace
+                    // the incumbent with probability 1/(ties+1), drawn
+                    // without modulo bias (see `bounded_draw`).
+                    ties += 1;
+                    if bounded_draw(&mut tie_break, ties) == 0 {
+                        best = Some(growth);
+                    }
+                }
+                core::cmp::Ordering::Less => {}
+            },
+        }
+    }
+    GrowthEvaluation {
+        growth: best,
+        candidates: candidate_count,
+        ranges_evaluated: cands.groups.len() as u64,
+    }
+}
+
+/// The unfused reference implementation of [`evaluate_growth`]: candidate
+/// search ([`NybbleTree::nearest_outside`]) followed by one
+/// [`NybbleTree::count_in_range`] walk per distinct expanded range.
+///
+/// Kept for differential testing (and selectable engine-wide via the
+/// hidden `Config::unfused_growth` flag): it must return byte-identical
+/// results to the fused path and consume the `tie_break` stream
+/// identically. It is O(candidates × range positions) slower in both
+/// allocation (materializes every candidate address) and counting (re-walks
+/// the tree per range), which is exactly what the fused traversal removes.
+pub fn evaluate_growth_unfused(
     cluster: &Cluster,
     tree: &NybbleTree,
     mode: ClusterMode,
@@ -122,7 +205,9 @@ pub fn evaluate_growth(
     let mut ranges_evaluated: u64 = 0;
     // Distinct candidates often induce the same expanded range (e.g. two
     // seeds differing from the range in the same positions under loose
-    // mode); evaluate each range once.
+    // mode); evaluate each range once. The membership probe never clones —
+    // duplicate-heavy candidate sets only pay a lookup, and a clone is
+    // taken once per *distinct* range.
     let mut seen: HashSet<Range> = HashSet::new();
     for seed in candidates {
         candidate_count += 1;
@@ -130,9 +215,10 @@ pub fn evaluate_growth(
             ClusterMode::Loose => cluster.range.expand_loose(seed),
             ClusterMode::Tight => cluster.range.expand_tight(seed),
         };
-        if !seen.insert(range.clone()) {
+        if seen.contains(&range) {
             continue;
         }
+        seen.insert(range.clone());
         ranges_evaluated += 1;
         let growth = Growth {
             seed_count: tree.count_in_range(&range),
@@ -150,9 +236,6 @@ pub fn evaluate_growth(
                     ties = 1;
                 }
                 core::cmp::Ordering::Equal => {
-                    // Reservoir sampling over equally-good growths: replace
-                    // the incumbent with probability 1/(ties+1), drawn
-                    // without modulo bias (see `bounded_draw`).
                     ties += 1;
                     if bounded_draw(&mut tie_break, ties) == 0 {
                         best = Some(growth);
@@ -313,5 +396,106 @@ mod tests {
         // Both candidate growths have 2 seeds in a size-4 tight range.
         assert_eq!(g0.seed_count, 2);
         assert_eq!(g0.range_size, 4);
+    }
+
+    #[test]
+    fn duplicate_candidates_deduplicate_to_one_range() {
+        // Six candidates all mismatch the cluster in the same (last)
+        // position, so loose expansion induces one single range. Both
+        // implementations must report 6 candidates but evaluate 1 range,
+        // and the unfused path's dedup probe must not clone per duplicate
+        // (pinned structurally: only one distinct range ever enters the
+        // seen-set, so at most one clone is taken).
+        let t = tree(&[
+            "2001:db8::10",
+            "2001:db8::11",
+            "2001:db8::13",
+            "2001:db8::15",
+            "2001:db8::19",
+            "2001:db8::1b",
+            "2001:db8::1e",
+        ]);
+        let c = Cluster::singleton(addr("2001:db8::10"));
+        for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+            let fused = evaluate_growth(&c, &t, mode, || 0);
+            let unfused = evaluate_growth_unfused(&c, &t, mode, || 0);
+            assert_eq!(fused.candidates, 6);
+            assert_eq!(unfused.candidates, 6);
+            // Loose: all six widen position 31 to `?`. Tight: all six
+            // insert distinct values, so six distinct ranges.
+            let expected_ranges = match mode {
+                ClusterMode::Loose => 1,
+                ClusterMode::Tight => 6,
+            };
+            assert_eq!(fused.ranges_evaluated, expected_ranges);
+            assert_eq!(unfused.ranges_evaluated, expected_ranges);
+            assert_eq!(fused.growth, unfused.growth);
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_and_draw_identically() {
+        // Randomized clusters over a structured seed set: the fused
+        // traversal must return the same evaluation as the unfused
+        // reference AND consume the tie-break stream identically (same
+        // number of draws in the same order), which is what makes the two
+        // engine paths byte-identical.
+        let mut state: u64 = 0x5EED;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let seeds: Vec<NybbleAddr> = (0..120)
+            .map(|_| {
+                let r = next();
+                NybbleAddr::from_bits(
+                    (0x2001_0db8u128) << 96
+                        | ((r % 5) as u128) << 16
+                        | ((r >> 8) % 64) as u128,
+                )
+            })
+            .collect();
+        let t = NybbleTree::from_addresses(seeds.iter().copied());
+        for trial in 0..30 {
+            let anchor = seeds[(next() as usize) % seeds.len()];
+            let cluster = if trial % 3 == 0 {
+                Cluster::singleton(anchor)
+            } else {
+                // A small grown range around the anchor.
+                let range = Range::from_address(anchor).expand_loose(NybbleAddr::from_bits(
+                    anchor.bits() ^ (0xF & next() as u128),
+                ));
+                let count = t.count_in_range(&range);
+                Cluster {
+                    range,
+                    seed_count: count,
+                }
+            };
+            for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+                let mut draws_fused: Vec<u64> = Vec::new();
+                let mut s1: u64 = 0xABCD ^ trial;
+                let fused = evaluate_growth(&cluster, &t, mode, || {
+                    s1 = s1.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                    draws_fused.push(s1);
+                    s1
+                });
+                let mut draws_unfused: Vec<u64> = Vec::new();
+                let mut s2: u64 = 0xABCD ^ trial;
+                let unfused = evaluate_growth_unfused(&cluster, &t, mode, || {
+                    s2 = s2.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                    draws_unfused.push(s2);
+                    s2
+                });
+                assert_eq!(fused.growth, unfused.growth, "trial {trial} {mode:?}");
+                assert_eq!(fused.candidates, unfused.candidates);
+                assert_eq!(fused.ranges_evaluated, unfused.ranges_evaluated);
+                assert_eq!(
+                    draws_fused, draws_unfused,
+                    "tie-break stream consumption diverged (trial {trial} {mode:?})"
+                );
+            }
+        }
     }
 }

@@ -1,13 +1,13 @@
 //! The 6Gen engine: Algorithm 1's main loop with the §5.5 optimizations.
 
 use crate::budget::{BudgetTracker, Charge};
-use crate::cluster::{evaluate_growth, Cluster, Growth};
+use crate::cluster::{evaluate_growth, evaluate_growth_unfused, Cluster, Growth};
 use crate::draw::bounded_draw;
 use crate::outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
 use crate::Config;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sixgen_addr::{NybbleAddr, NybbleTree};
+use sixgen_addr::{NybbleAddr, NybbleTree, PackedMasks};
 use sixgen_obs::{maybe_span, Counter, Histogram, MetricsRegistry, PhaseTimer, SpanId, TraceSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -34,6 +34,48 @@ struct Slot {
     cached: Cached,
 }
 
+/// Compact per-slot copy of the cached growth's selection inputs (seed
+/// count and range size), kept in an array parallel to the slots.
+///
+/// The per-round selection scan visits every slot; reading the full
+/// `Slot` (cluster range + cached growth range, hundreds of bytes) per
+/// visit makes that scan memory-bound. The key array packs what the scan
+/// actually compares into 32 bytes per slot. `size == 0` marks a slot
+/// with no selectable growth (stale or exhausted) — real ranges always
+/// have size ≥ 1.
+#[derive(Debug, Clone, Copy)]
+struct SelectKey {
+    count: u64,
+    size: u128,
+}
+
+impl SelectKey {
+    const NONE: SelectKey = SelectKey { count: 0, size: 0 };
+
+    fn of(cached: &Cached) -> SelectKey {
+        match cached {
+            Cached::Ready(growth) => SelectKey {
+                count: growth.seed_count,
+                size: growth.range_size,
+            },
+            Cached::Stale | Cached::Exhausted => SelectKey::NONE,
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.size != 0
+    }
+
+    /// Must order exactly like [`Growth::preference`] on the source
+    /// growths: the selection scan's comparison results — including which
+    /// comparisons come out `Equal` and therefore draw from the shared
+    /// run RNG — decide the whole downstream target stream.
+    fn preference(&self, other: &SelectKey) -> core::cmp::Ordering {
+        sixgen_addr::compare_density(self.count, self.size, other.count, other.size)
+            .then_with(|| other.size.cmp(&self.size))
+    }
+}
+
 /// Metric handles for one engine run, fetched from the registry once up
 /// front so hot-loop recording never touches the registry mutex. All
 /// handles are atomics, so parallel growth workers record freely.
@@ -53,6 +95,7 @@ struct EngineMetrics {
     candidate_set_size: Arc<Histogram>,
     ranges_evaluated: Arc<Histogram>,
     growth_eval: Arc<Histogram>,
+    cache_recomputes: Arc<Counter>,
     growths: Arc<Counter>,
     subsumed: Arc<Counter>,
     budget_used: Arc<Counter>,
@@ -72,6 +115,7 @@ impl EngineMetrics {
             candidate_set_size: registry.histogram("engine/candidate_set_size"),
             ranges_evaluated: registry.histogram("engine/ranges_evaluated"),
             growth_eval: registry.time_histogram("engine/growth_eval"),
+            cache_recomputes: registry.counter("engine/cache_recomputes"),
             growths: registry.counter("engine/growths"),
             subsumed: registry.counter("engine/subsumed"),
             budget_used: registry.counter("engine/budget_used"),
@@ -219,18 +263,38 @@ impl SixGen {
                 cached: Cached::Stale,
             });
         }
+        // Incremental cache invalidation (§5.5): the engine tracks exactly
+        // which slots are stale instead of rescanning every slot each
+        // round. After initialization that is everyone; after each commit,
+        // only the grown cluster.
+        let mut stale_indices: Vec<usize> = (0..slots.len()).collect();
+        // Compact selection keys, parallel to `slots` (see [`SelectKey`]).
+        let mut keys: Vec<SelectKey> = vec![SelectKey::NONE; slots.len()];
+        // Packed range masks, also parallel to `slots`: the subsumption
+        // scan tests every live cluster against each newly grown range,
+        // and reading four words per cluster beats re-deriving 32 set
+        // comparisons from the full `Slot` every round.
+        let mut packed: Vec<PackedMasks> = slots
+            .iter()
+            .map(|s| s.cluster.range.packed_masks())
+            .collect();
 
         loop {
             let phase_started = Instant::now();
             {
                 let mut span = maybe_span(trace, "engine", "cache_fill", root_id);
+                let stale_now = std::mem::take(&mut stale_indices);
                 cpu_time += self.fill_caches(
                     &mut slots,
+                    &stale_now,
                     &mut stats_worker_panics,
                     metrics.as_ref(),
                     trace,
                     span.id(),
                 );
+                for &i in &stale_now {
+                    keys[i] = SelectKey::of(&slots[i].cached);
+                }
                 span.attr("clusters", slots.len() as u64);
             }
             if let Some(m) = &metrics {
@@ -261,35 +325,38 @@ impl SixGen {
             let phase_started = Instant::now();
             let mut select_span = maybe_span(trace, "engine", "select", root_id);
             select_span.attr("clusters", slots.len() as u64);
+            // The scan runs over the compact key array, not the slots; the
+            // comparison and tie-break logic (and therefore the RNG draw
+            // sequence) are identical to comparing the cached growths
+            // directly, pinned by SelectKey::preference's contract.
             let mut best_index: Option<usize> = None;
+            let mut best_key = SelectKey::NONE;
             let mut ties: u64 = 0;
-            for (i, slot) in slots.iter().enumerate() {
-                let Cached::Ready(growth) = &slot.cached else {
+            for (i, key) in keys.iter().enumerate() {
+                if !key.is_ready() {
                     continue;
-                };
+                }
                 match best_index {
                     None => {
                         best_index = Some(i);
+                        best_key = *key;
                         ties = 1;
                     }
-                    Some(b) => {
-                        let Cached::Ready(best) = &slots[b].cached else {
-                            unreachable!("best_index always references a Ready slot");
-                        };
-                        match growth.preference(best) {
-                            core::cmp::Ordering::Greater => {
-                                best_index = Some(i);
-                                ties = 1;
-                            }
-                            core::cmp::Ordering::Equal => {
-                                ties += 1;
-                                if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
-                                    best_index = Some(i);
-                                }
-                            }
-                            core::cmp::Ordering::Less => {}
+                    Some(_) => match key.preference(&best_key) {
+                        core::cmp::Ordering::Greater => {
+                            best_index = Some(i);
+                            best_key = *key;
+                            ties = 1;
                         }
-                    }
+                        core::cmp::Ordering::Equal => {
+                            ties += 1;
+                            if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
+                                best_index = Some(i);
+                                best_key = *key;
+                            }
+                        }
+                        core::cmp::Ordering::Less => {}
+                    },
                 }
             }
             drop(select_span);
@@ -357,7 +424,6 @@ impl SixGen {
             let charge = budget.charge(&growth.range, &mut rng);
             debug_assert!(matches!(charge, Charge::Committed { .. }));
             stats_growths += 1;
-            let new_range = growth.range.clone();
             slots[grown_index] = Slot {
                 cluster: Cluster {
                     range: growth.range,
@@ -365,6 +431,9 @@ impl SixGen {
                 },
                 cached: Cached::Stale,
             };
+            keys[grown_index] = SelectKey::NONE;
+            packed[grown_index] = slots[grown_index].cluster.range.packed_masks();
+            let new_packed = packed[grown_index];
             drop(commit_span);
             if let Some(m) = &metrics {
                 m.commit.record(phase_started.elapsed());
@@ -372,12 +441,33 @@ impl SixGen {
             let phase_started = Instant::now();
             let mut subsume_span = maybe_span(trace, "engine", "subsume", root_id);
             let before = slots.len();
-            let mut index = 0;
-            slots.retain(|slot| {
-                let keep = index == grown_index || !slot.cluster.range.is_subset(&new_range);
-                index += 1;
-                keep
-            });
+            // Compact `slots`, `packed`, and `keys` in one swap-based pass:
+            // the subset test reads only the packed mask array (four words
+            // per cluster), survivors swap down into place, and everything
+            // past the write cursor dies at truncate. The grown cluster's
+            // position is tracked through the compaction; it is the round's
+            // only stale cache (see `fill_caches` for why no other cache
+            // can be invalidated by this commit).
+            let mut write = 0;
+            let mut grown_new_index = grown_index;
+            for read in 0..slots.len() {
+                let keep = read == grown_index || !packed[read].is_subset(&new_packed);
+                if keep {
+                    if read == grown_index {
+                        grown_new_index = write;
+                    }
+                    if read != write {
+                        slots.swap(read, write);
+                        packed[write] = packed[read];
+                        keys[write] = keys[read];
+                    }
+                    write += 1;
+                }
+            }
+            slots.truncate(write);
+            packed.truncate(write);
+            keys.truncate(write);
+            stale_indices.push(grown_new_index);
             stats_subsumed += (before - slots.len()) as u64;
             subsume_span.attr("subsumed", (before - slots.len()) as u64);
             drop(subsume_span);
@@ -387,9 +477,39 @@ impl SixGen {
         }
     }
 
-    /// Recomputes every stale cache, in parallel when configured and
-    /// worthwhile. Returns the aggregate busy time across workers and
-    /// counts recovered panics into `worker_panics`.
+    /// Recomputes the caches named by `stale` (draining it), in parallel
+    /// when configured and worthwhile, and counts recovered panics into
+    /// `worker_panics`.
+    ///
+    /// The stale list is maintained *incrementally* by the caller: after
+    /// initialization it holds every cluster, and after a commit it holds
+    /// exactly the grown cluster. A commit can never invalidate any other
+    /// cluster's cache — the seed tree is immutable and clusters grow
+    /// independently (§5.5), so a cached best growth only depends on the
+    /// owning cluster's range. Deleting subsumed clusters doesn't
+    /// invalidate caches either, for the same reason. Keeping the list
+    /// explicit turns the per-round cache refresh from an O(clusters) scan
+    /// into O(stale), which after round one is O(1) bookkeeping plus the
+    /// single recompute.
+    ///
+    /// Returns the **aggregate busy time** spent in growth evaluation
+    /// across all participating threads, feeding [`RunStats::cpu_time`]:
+    ///
+    /// * serial mode — the wall time of the evaluation loop (one thread,
+    ///   so busy time and wall time coincide);
+    /// * parallel mode — the sum of each worker's busy interval (thread
+    ///   body start to finish), plus the serial failover retries.
+    ///
+    /// The semantics are deliberately identical across modes — total CPU
+    /// time burned evaluating growths — so `cpu_time` is comparable across
+    /// `threads` settings and `cpu_time / wall_time` approximates the
+    /// achieved evaluation parallelism. Two measurement caveats are
+    /// accepted: a worker's interval includes its share of per-cluster
+    /// `catch_unwind`/metrics bookkeeping, and an evaluation that panicked
+    /// and was retried contributes both attempts (the failed one is inside
+    /// its worker's interval and cannot be separated out).
+    ///
+    /// [`RunStats::cpu_time`]: crate::RunStats::cpu_time
     ///
     /// Parallel growth evaluation is panic-free at the run level: each
     /// cluster's evaluation runs under [`catch_unwind`], a panicking
@@ -400,19 +520,31 @@ impl SixGen {
     fn fill_caches(
         &self,
         slots: &mut [Slot],
+        stale: &[usize],
         worker_panics: &mut u64,
         metrics: Option<&EngineMetrics>,
         trace: Option<&TraceSink>,
         parent: SpanId,
     ) -> Duration {
-        let stale: Vec<usize> = slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches!(s.cached, Cached::Stale))
-            .map(|(i, _)| i)
-            .collect();
+        debug_assert!(
+            stale
+                .iter()
+                .all(|&i| matches!(slots[i].cached, Cached::Stale)),
+            "stale list names a non-stale slot"
+        );
+        debug_assert_eq!(
+            slots
+                .iter()
+                .filter(|s| matches!(s.cached, Cached::Stale))
+                .count(),
+            stale.len(),
+            "a stale slot is missing from the stale list"
+        );
         if stale.is_empty() {
             return Duration::ZERO;
+        }
+        if let Some(m) = metrics {
+            m.cache_recomputes.add(stale.len() as u64);
         }
         let threads = match self.config.threads {
             0 => std::thread::available_parallelism()
@@ -422,64 +554,70 @@ impl SixGen {
         };
         if threads <= 1 || stale.len() < 64 {
             let start = Instant::now();
-            for &i in &stale {
+            for &i in stale {
                 slots[i].cached =
                     self.compute_growth(&slots[i].cluster, false, metrics, trace, parent);
             }
             return start.elapsed();
         }
 
-        // Parallel: chunk the stale indices across scoped workers. Results
+        // Parallel: chunk the stale indices across scoped workers, which
+        // borrow the slots directly — scoped threads make the shared
+        // reborrow sound, so no cluster is cloned just to be read. Results
         // are deterministic because each cluster's tie-break stream depends
         // only on its range, not on scheduling.
         let chunk_size = stale.len().div_ceil(threads);
-        let clusters: Vec<(usize, Cluster)> = stale
-            .iter()
-            .map(|&i| (i, slots[i].cluster.clone()))
-            .collect();
-        let chunks: Vec<&[(usize, Cluster)]> = clusters.chunks(chunk_size).collect();
+        let chunks: Vec<&[usize]> = stale.chunks(chunk_size).collect();
         let mut results: Vec<(usize, Cached)> = Vec::with_capacity(stale.len());
         let mut failed: Vec<usize> = Vec::new();
         let mut cpu = Duration::ZERO;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let start = Instant::now();
-                        let out: Vec<(usize, Option<Cached>)> = chunk
-                            .iter()
-                            .map(|(i, cluster)| {
-                                let cached =
-                                    catch_unwind(AssertUnwindSafe(|| {
-                                        self.compute_growth(cluster, true, metrics, trace, parent)
+        {
+            let shared: &[Slot] = slots;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let start = Instant::now();
+                            let out: Vec<(usize, Option<Cached>)> = chunk
+                                .iter()
+                                .map(|&i| {
+                                    let cached = catch_unwind(AssertUnwindSafe(|| {
+                                        self.compute_growth(
+                                            &shared[i].cluster,
+                                            true,
+                                            metrics,
+                                            trace,
+                                            parent,
+                                        )
                                     }))
                                     .ok();
-                                (*i, cached)
-                            })
-                            .collect();
-                        (out, start.elapsed())
+                                    (i, cached)
+                                })
+                                .collect();
+                            (out, start.elapsed())
+                        })
                     })
-                })
-                .collect();
-            for (handle, chunk) in handles.into_iter().zip(&chunks) {
-                match handle.join() {
-                    Ok((out, elapsed)) => {
-                        cpu += elapsed;
-                        for (i, cached) in out {
-                            match cached {
-                                Some(cached) => results.push((i, cached)),
-                                None => failed.push(i),
+                    .collect();
+                for (handle, chunk) in handles.into_iter().zip(&chunks) {
+                    match handle.join() {
+                        Ok((out, elapsed)) => {
+                            cpu += elapsed;
+                            for (i, cached) in out {
+                                match cached {
+                                    Some(cached) => results.push((i, cached)),
+                                    None => failed.push(i),
+                                }
                             }
                         }
+                        // A panic escaped the per-cluster catch (worker
+                        // plumbing, not growth math): re-derive the whole
+                        // chunk serially below.
+                        Err(_) => failed.extend(chunk.iter().copied()),
                     }
-                    // A panic escaped the per-cluster catch (worker
-                    // plumbing, not growth math): re-derive the whole
-                    // chunk serially below.
-                    Err(_) => failed.extend(chunk.iter().map(|(i, _)| *i)),
                 }
-            }
-        });
+            });
+        }
         for (i, cached) in results {
             slots[i].cached = cached;
         }
@@ -536,7 +674,11 @@ impl SixGen {
             state = splitmix64(state);
             state
         };
-        let eval = evaluate_growth(cluster, &self.tree, self.config.mode, tie_break);
+        let eval = if self.config.unfused_growth {
+            evaluate_growth_unfused(cluster, &self.tree, self.config.mode, tie_break)
+        } else {
+            evaluate_growth(cluster, &self.tree, self.config.mode, tie_break)
+        };
         span.attr("candidates", eval.candidates);
         span.attr("ranges_evaluated", eval.ranges_evaluated);
         if let Some(growth) = &eval.growth {
@@ -1088,6 +1230,60 @@ mod tests {
         let disabled = deterministic(Some(disabled_sink));
         assert_eq!(off, on, "tracing must not perturb deterministic metrics");
         assert_eq!(off, disabled);
+    }
+
+    #[test]
+    fn fused_and_unfused_engines_are_byte_identical() {
+        // The hidden `unfused_growth` flag routes every growth evaluation
+        // through the reference implementation. Targets, clusters, stats,
+        // and the deterministic metrics section must all be byte-identical
+        // to the fused default, in both modes and under parallelism.
+        let seeds: Vec<NybbleAddr> = (0..150u32)
+            .map(|i| {
+                NybbleAddr::from_bits(
+                    0x2001_0db8 << 96 | ((i % 6) as u128) << 24 | ((i * 53 % 2048) as u128),
+                )
+            })
+            .collect();
+        for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+            for threads in [1, 4] {
+                let run_with = |unfused: bool| {
+                    let registry = MetricsRegistry::shared();
+                    let outcome = SixGen::new(
+                        seeds.clone(),
+                        Config {
+                            mode,
+                            threads,
+                            budget: 3000,
+                            unfused_growth: unfused,
+                            metrics: Some(Arc::clone(&registry)),
+                            ..Config::default()
+                        },
+                    )
+                    .run();
+                    (outcome, registry.deterministic_json())
+                };
+                let (fused, fused_metrics) = run_with(false);
+                let (unfused, unfused_metrics) = run_with(true);
+                assert_eq!(
+                    fused.targets.as_slice(),
+                    unfused.targets.as_slice(),
+                    "targets diverged ({mode:?}, {threads} threads)"
+                );
+                assert_eq!(fused.stats.growths, unfused.stats.growths);
+                assert_eq!(fused.stats.subsumed, unfused.stats.subsumed);
+                assert_eq!(fused.stats.termination, unfused.stats.termination);
+                assert_eq!(
+                    fused.clusters.len(),
+                    unfused.clusters.len(),
+                    "cluster sets diverged ({mode:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    fused_metrics, unfused_metrics,
+                    "deterministic metrics diverged ({mode:?}, {threads} threads)"
+                );
+            }
+        }
     }
 
     #[test]

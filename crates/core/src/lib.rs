@@ -54,7 +54,9 @@ mod outcome;
 
 pub use adaptive::{adaptive_scan, AdaptiveConfig, AdaptiveOutcome, RegionFate, RegionReport};
 pub use budget::{BudgetTracker, Charge};
-pub use cluster::{best_growth, evaluate_growth, Cluster, Growth, GrowthEvaluation};
+pub use cluster::{
+    best_growth, evaluate_growth, evaluate_growth_unfused, Cluster, Growth, GrowthEvaluation,
+};
 pub use draw::bounded_draw;
 pub use engine::{run, run_grouped, SixGen};
 pub use outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
@@ -115,6 +117,14 @@ pub struct Config {
     /// the stable API.
     #[doc(hidden)]
     pub panic_injection: Option<PanicInjection>,
+    /// Test hook: route growth evaluation through the unfused reference
+    /// implementation ([`evaluate_growth_unfused`]: candidate search, then
+    /// one counting walk per distinct range) instead of the fused
+    /// single-walk traversal. Both paths must produce byte-identical
+    /// outcomes and deterministic metrics; differential tests flip this
+    /// flag to prove it. Not part of the stable API.
+    #[doc(hidden)]
+    pub unfused_growth: bool,
 }
 
 /// Test hook describing when growth evaluation should deliberately panic,
@@ -142,6 +152,7 @@ impl Default for Config {
             metrics: None,
             trace: None,
             panic_injection: None,
+            unfused_growth: false,
         }
     }
 }
