@@ -101,6 +101,34 @@ impl Range {
         &self.sets
     }
 
+    /// Exports the range as 32 per-position set masks, most significant
+    /// position first — the range's canonical wire form, used by the
+    /// engine checkpoint format. Two equal ranges always export identical
+    /// words, and [`Range::from_mask_words`] rebuilds an identical range
+    /// (the packed fixed-position caches are re-derived, not serialized).
+    pub fn mask_words(&self) -> [u16; NYBBLE_COUNT] {
+        let mut words = [0u16; NYBBLE_COUNT];
+        for (word, set) in words.iter_mut().zip(&self.sets) {
+            *word = set.mask();
+        }
+        words
+    }
+
+    /// Rebuilds a range from [`Range::mask_words`] output. Returns `None`
+    /// if any word is zero (an empty per-position set — the range would
+    /// contain no address), so untrusted bytes cannot violate the
+    /// non-empty invariant or panic.
+    pub fn from_mask_words(words: [u16; NYBBLE_COUNT]) -> Option<Range> {
+        if words.contains(&0) {
+            return None;
+        }
+        let mut sets = [NybbleSet::EMPTY; NYBBLE_COUNT];
+        for (set, &word) in sets.iter_mut().zip(&words) {
+            *set = NybbleSet::from_mask(word);
+        }
+        Some(Range::from_sets(sets))
+    }
+
     /// The number of *dynamic* positions (sets with more than one value).
     pub fn dynamic_count(&self) -> u32 {
         (u128::MAX ^ self.fixed_mask).count_ones() / 4
@@ -864,6 +892,28 @@ mod tests {
         let uniq: HashSet<_> = drawn.iter().collect();
         assert_eq!(uniq.len(), 1000);
         assert!(drawn.iter().all(|a| range.contains(*a)));
+    }
+
+    #[test]
+    fn mask_words_round_trip() {
+        for s in [
+            "2001:db8::?:100?",
+            "::",
+            "2001:db8::[1-2,8-a]",
+            "?:2::3:?",
+        ] {
+            let range = r(s);
+            let rebuilt = Range::from_mask_words(range.mask_words()).unwrap();
+            assert_eq!(rebuilt, range, "round trip of {s}");
+            assert_eq!(rebuilt.mask_words(), range.mask_words());
+            // The derived caches must match too: subset/contains behave
+            // identically on the rebuilt range.
+            assert!(rebuilt.packed_masks().is_subset(&range.packed_masks()));
+        }
+        // An empty per-position set is rejected, not asserted on.
+        let mut words = r("::").mask_words();
+        words[7] = 0;
+        assert!(Range::from_mask_words(words).is_none());
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //!   trajectory  core perf trajectory -> BENCH_core.json
 //!   trajectory-check  validate committed BENCH_core.json (schema, 100K
 //!                     point, growth_eval p95 regression <= 25%)
-//!   all       everything above (except trajectory)
+//!   chaos     session fault-injection harness: worker panics, kill+resume,
+//!             checkpoint-write I/O faults, deadline jitter, corruption
+//!             (exits non-zero on any recovery-invariant violation)
+//!   all       everything above (except trajectory and chaos)
 //!
 //! OPTIONS
 //!   --scale <f64>    world scale factor           (default 1.0)
@@ -45,7 +48,7 @@ use sixgen_bench::experiments::{
     fig5_clusters, fig6_nybbles, fig7_hits, host_type, table1_ases, table2_downsampling, tight_vs_loose,
     ExperimentOptions,
 };
-use sixgen_bench::trajectory;
+use sixgen_bench::{chaos, trajectory};
 use sixgen_obs::{maybe_span, MetricsRegistry, SpanId, TraceSink};
 use std::path::PathBuf;
 
@@ -53,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--budget N] [--results DIR] [--threads N] [--quick] \
          [--metrics-out FILE[.prom]] [--trace-out FILE] [--trace-summary] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|trajectory-check|all>..."
+         <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|tight|hosttype|dealias|adaptive|budgetpolicy|eipranked|faults|trajectory|trajectory-check|chaos|all>..."
     );
     std::process::exit(2);
 }
@@ -65,7 +68,7 @@ fn static_name(name: &str) -> &'static str {
     const NAMES: &[&str] = &[
         "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
         "tight", "hosttype", "dealias", "adaptive", "budgetpolicy", "eipranked", "faults",
-        "trajectory", "trajectory-check", "all",
+        "trajectory", "trajectory-check", "chaos", "all",
     ];
     NAMES
         .iter()
@@ -163,6 +166,11 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "chaos" => {
+                if !chaos::run(&opts) {
+                    std::process::exit(1);
+                }
+            }
             "all" => run_all(&opts),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -177,7 +185,7 @@ fn main() {
         } else {
             registry.to_json()
         };
-        std::fs::write(path, body).expect("write metrics");
+        sixgen_obs::write_atomic(path, body.as_bytes()).expect("write metrics");
         eprintln!(
             "metrics written to {} ({})",
             path.display(),
@@ -186,7 +194,8 @@ fn main() {
     }
     if let Some(sink) = &opts.trace {
         if let Some(path) = &trace_out {
-            std::fs::write(path, sink.to_chrome_json()).expect("write chrome trace");
+            sixgen_obs::write_atomic(path, sink.to_chrome_json().as_bytes())
+                .expect("write chrome trace");
             eprintln!(
                 "trace written to {} ({} spans, {} dropped)",
                 path.display(),

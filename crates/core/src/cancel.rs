@@ -1,0 +1,72 @@
+//! Cooperative cancellation for long-running engine sessions.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between an engine
+//! session and whoever supervises it (a CLI signal handler, a serving
+//! layer's job controller, a test). The engine polls the token once per
+//! round — at the same point it checks the deadline — and stops with
+//! [`Termination::Cancelled`](crate::Termination::Cancelled) and a
+//! well-formed partial outcome. Cancellation is *cooperative*: a round in
+//! flight always completes, so the session's state stays at a round
+//! boundary and a checkpoint taken before or after the cancelled run
+//! resumes cleanly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag.
+///
+/// ```
+/// use sixgen_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; there is no way to lower it again —
+    /// create a new token for a new run.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on this
+    /// token or any clone of it.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -1,6 +1,8 @@
-//! The 6Gen engine: Algorithm 1's main loop with the §5.5 optimizations.
+//! The 6Gen engine: Algorithm 1's main loop with the §5.5 optimizations,
+//! run as a resumable [`Session`].
 
 use crate::budget::{BudgetTracker, Charge};
+use crate::checkpoint::{CachedCheckpoint, CheckpointError, EngineCheckpoint, SlotCheckpoint};
 use crate::cluster::{evaluate_growth, evaluate_growth_unfused, Cluster, Growth};
 use crate::draw::bounded_draw;
 use crate::outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
@@ -140,9 +142,11 @@ impl EngineMetrics {
 
 /// A configured 6Gen run over a set of seeds.
 ///
-/// Construct with [`SixGen::new`], execute with [`SixGen::run`]. Runs are
+/// Construct with [`SixGen::new`], execute with [`SixGen::run`] — or open
+/// a [`Session`] with [`SixGen::session`] to drive the main loop round by
+/// round, checkpointing and cancelling between rounds. Runs are
 /// deterministic for a fixed seed set and [`Config`], including under
-/// multi-threaded growth evaluation.
+/// multi-threaded growth evaluation and across checkpoint/resume cycles.
 #[derive(Debug)]
 pub struct SixGen {
     seeds: Vec<NybbleAddr>,
@@ -171,310 +175,15 @@ impl SixGen {
     }
 
     /// Executes the algorithm to termination and returns the outcome.
+    /// Equivalent to `self.session().run()`.
     pub fn run(self) -> Outcome {
-        let started = Instant::now();
-        let deadline = self.config.time_limit.map(|limit| started + limit);
-        let mut cpu_time = Duration::ZERO;
-        let total_seeds = self.seeds.len() as u64;
-        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
-        let mut budget = BudgetTracker::new(self.config.budget);
-        let mut stats_growths: u64 = 0;
-        let mut stats_subsumed: u64 = 0;
-        let mut stats_worker_panics: u64 = 0;
-        let metrics = self.config.metrics.as_deref().map(EngineMetrics::new);
-        let trace = self.config.trace.clone();
-        let trace = trace.as_deref();
-        let mut root = maybe_span(trace, "engine", "run", SpanId::NONE);
-        root.attr("seeds", self.seeds.len() as u64);
-        root.attr("budget", self.config.budget);
-        let root_id = root.id();
+        Session::start(self).run()
+    }
 
-        let finish = |slots: Vec<Slot>,
-                      budget: BudgetTracker,
-                      termination: Termination,
-                      growths: u64,
-                      subsumed: u64,
-                      worker_panics: u64,
-                      cpu_time: Duration,
-                      started: Instant| {
-            let clusters = slots
-                .into_iter()
-                .map(|s| ClusterInfo {
-                    range_size: s.cluster.range.size(),
-                    seed_count: s.cluster.seed_count,
-                    range: s.cluster.range,
-                })
-                .collect();
-            let budget_total = budget.budget();
-            let budget_used = budget.used();
-            let stats = RunStats {
-                growths,
-                subsumed,
-                budget_used,
-                budget: budget_total,
-                seed_count: total_seeds,
-                wall_time: started.elapsed(),
-                cpu_time,
-                worker_panics,
-                termination,
-            };
-            if let Some(m) = &metrics {
-                m.export_stats(&stats);
-            }
-            Outcome {
-                targets: TargetSet::from_ordered(budget.into_targets()),
-                clusters,
-                stats,
-            }
-        };
-
-        if self.seeds.is_empty() {
-            return finish(
-                Vec::new(),
-                budget,
-                Termination::NoSeeds,
-                0,
-                0,
-                0,
-                cpu_time,
-                started,
-            );
-        }
-
-        // InitClusters: one singleton cluster per seed; each seed address
-        // is itself a generated target and counts against the budget.
-        let mut slots: Vec<Slot> = Vec::with_capacity(self.seeds.len());
-        for &seed in &self.seeds {
-            if !budget.add_address(seed) && budget.is_exhausted() {
-                // Budget smaller than the seed count: emit what fit.
-                return finish(
-                    slots,
-                    budget,
-                    Termination::ExhaustedAtInit,
-                    0,
-                    0,
-                    0,
-                    cpu_time,
-                    started,
-                );
-            }
-            slots.push(Slot {
-                cluster: Cluster::singleton(seed),
-                cached: Cached::Stale,
-            });
-        }
-        // Incremental cache invalidation (§5.5): the engine tracks exactly
-        // which slots are stale instead of rescanning every slot each
-        // round. After initialization that is everyone; after each commit,
-        // only the grown cluster.
-        let mut stale_indices: Vec<usize> = (0..slots.len()).collect();
-        // Compact selection keys, parallel to `slots` (see [`SelectKey`]).
-        let mut keys: Vec<SelectKey> = vec![SelectKey::NONE; slots.len()];
-        // Packed range masks, also parallel to `slots`: the subsumption
-        // scan tests every live cluster against each newly grown range,
-        // and reading four words per cluster beats re-deriving 32 set
-        // comparisons from the full `Slot` every round.
-        let mut packed: Vec<PackedMasks> = slots
-            .iter()
-            .map(|s| s.cluster.range.packed_masks())
-            .collect();
-
-        loop {
-            let phase_started = Instant::now();
-            {
-                let mut span = maybe_span(trace, "engine", "cache_fill", root_id);
-                let stale_now = std::mem::take(&mut stale_indices);
-                cpu_time += self.fill_caches(
-                    &mut slots,
-                    &stale_now,
-                    &mut stats_worker_panics,
-                    metrics.as_ref(),
-                    trace,
-                    span.id(),
-                );
-                for &i in &stale_now {
-                    keys[i] = SelectKey::of(&slots[i].cached);
-                }
-                span.attr("clusters", slots.len() as u64);
-            }
-            if let Some(m) = &metrics {
-                m.cache_fill.record(phase_started.elapsed());
-            }
-
-            // Deadline check (once per iteration, after cache refresh): a
-            // run cut short here is still a valid partial result because
-            // every seed has been in some cluster since initialization.
-            if let Some(deadline) = deadline {
-                if Instant::now() >= deadline {
-                    return finish(
-                        slots,
-                        budget,
-                        Termination::Deadline,
-                        stats_growths,
-                        stats_subsumed,
-                        stats_worker_panics,
-                        cpu_time,
-                        started,
-                    );
-                }
-            }
-
-            // Select the globally best cached growth: maximum density, then
-            // smallest range, then uniformly at random among exact ties
-            // (reservoir over scan order keeps this deterministic).
-            let phase_started = Instant::now();
-            let mut select_span = maybe_span(trace, "engine", "select", root_id);
-            select_span.attr("clusters", slots.len() as u64);
-            // The scan runs over the compact key array, not the slots; the
-            // comparison and tie-break logic (and therefore the RNG draw
-            // sequence) are identical to comparing the cached growths
-            // directly, pinned by SelectKey::preference's contract.
-            let mut best_index: Option<usize> = None;
-            let mut best_key = SelectKey::NONE;
-            let mut ties: u64 = 0;
-            for (i, key) in keys.iter().enumerate() {
-                if !key.is_ready() {
-                    continue;
-                }
-                match best_index {
-                    None => {
-                        best_index = Some(i);
-                        best_key = *key;
-                        ties = 1;
-                    }
-                    Some(_) => match key.preference(&best_key) {
-                        core::cmp::Ordering::Greater => {
-                            best_index = Some(i);
-                            best_key = *key;
-                            ties = 1;
-                        }
-                        core::cmp::Ordering::Equal => {
-                            ties += 1;
-                            if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
-                                best_index = Some(i);
-                                best_key = *key;
-                            }
-                        }
-                        core::cmp::Ordering::Less => {}
-                    },
-                }
-            }
-            drop(select_span);
-            if let Some(m) = &metrics {
-                m.select.record(phase_started.elapsed());
-            }
-            let Some(grown_index) = best_index else {
-                // Every cluster contains all seeds: nothing can grow.
-                return finish(
-                    slots,
-                    budget,
-                    Termination::AllSeedsClustered,
-                    stats_growths,
-                    stats_subsumed,
-                    stats_worker_panics,
-                    cpu_time,
-                    started,
-                );
-            };
-            let Cached::Ready(growth) = &slots[grown_index].cached else {
-                unreachable!("selected slot is Ready");
-            };
-
-            // Budget check first (Algorithm 1 computes the cost before the
-            // all-seeds test): an over-budget growth triggers the exact
-            // final-sampling path even if it would cluster all seeds.
-            if budget.cost_if_fits(&growth.range).is_none() {
-                let range = growth.range.clone();
-                let charge = budget.charge(&range, &mut rng);
-                debug_assert!(matches!(charge, Charge::Exhausted { .. }));
-                return finish(
-                    slots,
-                    budget,
-                    Termination::BudgetExhausted,
-                    stats_growths,
-                    stats_subsumed,
-                    stats_worker_panics,
-                    cpu_time,
-                    started,
-                );
-            }
-            if growth.seed_count == total_seeds {
-                // The growth would merge all seeds into one cluster; per
-                // Algorithm 1 it is *not* committed.
-                return finish(
-                    slots,
-                    budget,
-                    Termination::AllSeedsClustered,
-                    stats_growths,
-                    stats_subsumed,
-                    stats_worker_panics,
-                    cpu_time,
-                    started,
-                );
-            }
-
-            // Commit: charge the budget, adopt the grown range, invalidate
-            // this cluster's cache, and delete clusters subsumed by the new
-            // range (§5.4).
-            let phase_started = Instant::now();
-            let mut commit_span = maybe_span(trace, "engine", "commit", root_id);
-            let growth = growth.clone();
-            commit_span.attr("seed_count", growth.seed_count);
-            commit_span.attr("range_size", u64::try_from(growth.range_size).unwrap_or(u64::MAX));
-            let charge = budget.charge(&growth.range, &mut rng);
-            debug_assert!(matches!(charge, Charge::Committed { .. }));
-            stats_growths += 1;
-            slots[grown_index] = Slot {
-                cluster: Cluster {
-                    range: growth.range,
-                    seed_count: growth.seed_count,
-                },
-                cached: Cached::Stale,
-            };
-            keys[grown_index] = SelectKey::NONE;
-            packed[grown_index] = slots[grown_index].cluster.range.packed_masks();
-            let new_packed = packed[grown_index];
-            drop(commit_span);
-            if let Some(m) = &metrics {
-                m.commit.record(phase_started.elapsed());
-            }
-            let phase_started = Instant::now();
-            let mut subsume_span = maybe_span(trace, "engine", "subsume", root_id);
-            let before = slots.len();
-            // Compact `slots`, `packed`, and `keys` in one swap-based pass:
-            // the subset test reads only the packed mask array (four words
-            // per cluster), survivors swap down into place, and everything
-            // past the write cursor dies at truncate. The grown cluster's
-            // position is tracked through the compaction; it is the round's
-            // only stale cache (see `fill_caches` for why no other cache
-            // can be invalidated by this commit).
-            let mut write = 0;
-            let mut grown_new_index = grown_index;
-            for read in 0..slots.len() {
-                let keep = read == grown_index || !packed[read].is_subset(&new_packed);
-                if keep {
-                    if read == grown_index {
-                        grown_new_index = write;
-                    }
-                    if read != write {
-                        slots.swap(read, write);
-                        packed[write] = packed[read];
-                        keys[write] = keys[read];
-                    }
-                    write += 1;
-                }
-            }
-            slots.truncate(write);
-            packed.truncate(write);
-            keys.truncate(write);
-            stale_indices.push(grown_new_index);
-            stats_subsumed += (before - slots.len()) as u64;
-            subsume_span.attr("subsumed", (before - slots.len()) as u64);
-            drop(subsume_span);
-            if let Some(m) = &metrics {
-                m.subsume.record(phase_started.elapsed());
-            }
-        }
+    /// Opens a [`Session`]: the same algorithm, driven round by round by
+    /// the caller, with checkpoint/resume and cooperative cancellation.
+    pub fn session(self) -> Session {
+        Session::start(self)
     }
 
     /// Recomputes the caches named by `stale` (draining it), in parallel
@@ -700,6 +409,619 @@ impl SixGen {
             Some(growth) => Cached::Ready(growth),
             None => Cached::Exhausted,
         }
+    }
+}
+
+/// The result of one [`Session::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The round committed a growth; the session is at a round boundary
+    /// and can step again, checkpoint, or be cancelled.
+    Grew,
+    /// A stopping rule fired; call [`Session::finish`] for the outcome.
+    /// Stepping a finished session returns the same value again.
+    Done(Termination),
+}
+
+/// Why a checkpoint could not be resumed under a given [`Config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The config disagrees with the checkpoint on a fingerprint field
+    /// (`mode`, `rng_seed`, or `unfused_growth`) — resuming would break
+    /// the byte-identical-continuation guarantee.
+    ConfigMismatch {
+        /// The disagreeing [`Config`] field.
+        field: &'static str,
+    },
+    /// The config's budget is below the number of addresses the
+    /// checkpointed run already generated. Budgets can be topped *up* on
+    /// resume, never shrunk below what was spent.
+    BudgetBelowUsed {
+        /// Addresses already generated.
+        used: u64,
+        /// The offered budget.
+        budget: u64,
+    },
+    /// The checkpoint violates a structural invariant (possible when it
+    /// was constructed in memory rather than decoded — decoding performs
+    /// these checks itself).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::ConfigMismatch { field } => {
+                write!(f, "config `{field}` does not match the checkpoint")
+            }
+            ResumeError::BudgetBelowUsed { used, budget } => {
+                write!(
+                    f,
+                    "budget {budget} is below the {used} addresses already generated"
+                )
+            }
+            ResumeError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A 6Gen run in progress: Algorithm 1's main loop, exposed one round at
+/// a time.
+///
+/// [`SixGen::run`] is now a thin wrapper over this type. Driving the loop
+/// from outside the engine is what makes the run *interruptible without
+/// losing determinism*: between any two [`step`](Session::step) calls the
+/// session sits at a **round boundary** — a state that is a pure function
+/// of the seeds, the [`Config`], and the number of rounds stepped — and at
+/// a boundary it can be
+///
+/// * **checkpointed** ([`checkpoint`](Session::checkpoint)): snapshot
+///   every piece of round-to-round state (clusters, cached growths, the
+///   run RNG's position, budget membership and order, cumulative stats)
+///   into an [`EngineCheckpoint`];
+/// * **resumed** ([`resume`](Session::resume)): rebuild a session from a
+///   checkpoint in a fresh process and continue producing **byte-identical
+///   targets** to the run that was interrupted — the cached growths are
+///   restored rather than recomputed, so even the deterministic metrics
+///   section is identical to an uninterrupted run's;
+/// * **cancelled** (a [`CancelToken`](crate::CancelToken) in
+///   [`Config::cancel`]): polled once per round next to the deadline
+///   check, stopping with [`Termination::Cancelled`] and a well-formed
+///   partial outcome.
+///
+/// The immutable inputs (seed list, nybble tree, config) stay in the
+/// wrapped [`SixGen`]; everything here is the loop state that Algorithm 1
+/// mutates per round.
+#[derive(Debug)]
+pub struct Session {
+    engine: SixGen,
+    slots: Vec<Slot>,
+    /// Compact selection keys, parallel to `slots` (see [`SelectKey`]).
+    keys: Vec<SelectKey>,
+    /// Packed range masks, parallel to `slots`: the subsumption scan
+    /// tests every live cluster against each newly grown range, and
+    /// reading four words per cluster beats re-deriving 32 set
+    /// comparisons from the full `Slot` every round.
+    packed: Vec<PackedMasks>,
+    /// Incremental cache invalidation (§5.5): exactly which slots are
+    /// stale, instead of rescanning every slot each round. After
+    /// initialization that is everyone; after each commit, only the
+    /// grown cluster.
+    stale_indices: Vec<usize>,
+    rng: StdRng,
+    budget: BudgetTracker,
+    rounds: u64,
+    growths: u64,
+    subsumed: u64,
+    worker_panics: u64,
+    cpu_time: Duration,
+    /// Wall time inherited from checkpointed segments (zero for a fresh
+    /// session); `finish` reports `prior_wall + started.elapsed()`.
+    prior_wall: Duration,
+    started: Instant,
+    /// Per-segment deadline: a resumed session gets a fresh time budget
+    /// from its own config (deadlines bound *process* wall time; the
+    /// cumulative figure lives in [`RunStats::wall_time`]).
+    deadline: Option<Instant>,
+    metrics: Option<EngineMetrics>,
+    /// Id of this segment's root `engine/run` span (recorded at session
+    /// start; per-round phase spans parent under it).
+    root: SpanId,
+    done: Option<Termination>,
+}
+
+impl Session {
+    /// Initializes a session: one singleton cluster per seed, each seed
+    /// charged against the budget (InitClusters). Sessions that cannot
+    /// run at all ([`Termination::NoSeeds`],
+    /// [`Termination::ExhaustedAtInit`]) are born finished.
+    pub fn start(engine: SixGen) -> Session {
+        let started = Instant::now();
+        let deadline = engine.config.time_limit.map(|limit| started + limit);
+        let metrics = engine.config.metrics.as_deref().map(EngineMetrics::new);
+        let root = {
+            let trace = engine.config.trace.as_deref();
+            let mut root = maybe_span(trace, "engine", "run", SpanId::NONE);
+            root.attr("seeds", engine.seeds.len() as u64);
+            root.attr("budget", engine.config.budget);
+            root.id()
+        };
+        let mut budget = BudgetTracker::new(engine.config.budget);
+        let mut slots: Vec<Slot> = Vec::with_capacity(engine.seeds.len());
+        let mut done = None;
+        if engine.seeds.is_empty() {
+            done = Some(Termination::NoSeeds);
+        } else {
+            // InitClusters: one singleton cluster per seed; each seed
+            // address is itself a generated target and counts against the
+            // budget.
+            for &seed in &engine.seeds {
+                if !budget.add_address(seed) && budget.is_exhausted() {
+                    // Budget smaller than the seed count: emit what fit.
+                    done = Some(Termination::ExhaustedAtInit);
+                    break;
+                }
+                slots.push(Slot {
+                    cluster: Cluster::singleton(seed),
+                    cached: Cached::Stale,
+                });
+            }
+        }
+        let stale_indices: Vec<usize> = (0..slots.len()).collect();
+        let keys = vec![SelectKey::NONE; slots.len()];
+        let packed = slots.iter().map(|s| s.cluster.range.packed_masks()).collect();
+        Session {
+            rng: StdRng::seed_from_u64(engine.config.rng_seed),
+            engine,
+            slots,
+            keys,
+            packed,
+            stale_indices,
+            budget,
+            rounds: 0,
+            growths: 0,
+            subsumed: 0,
+            worker_panics: 0,
+            cpu_time: Duration::ZERO,
+            prior_wall: Duration::ZERO,
+            started,
+            deadline,
+            metrics,
+            root,
+            done,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint, continuing the interrupted
+    /// run byte-identically.
+    ///
+    /// `config` must agree with the checkpoint on the determinism
+    /// fingerprint (`mode`, `rng_seed`, `unfused_growth`); `budget` may be
+    /// *raised* to top up a finished-or-nearly-finished run (never lowered
+    /// below what was already generated); `threads`, `metrics`, `trace`,
+    /// `time_limit`, and `cancel` are free — none of them affect the
+    /// target stream, and the deadline is deliberately per-segment (a
+    /// fresh process gets a fresh time budget).
+    pub fn resume(checkpoint: EngineCheckpoint, config: Config) -> Result<Session, ResumeError> {
+        if config.mode != checkpoint.mode {
+            return Err(ResumeError::ConfigMismatch { field: "mode" });
+        }
+        if config.rng_seed != checkpoint.rng_seed {
+            return Err(ResumeError::ConfigMismatch { field: "rng_seed" });
+        }
+        if config.unfused_growth != checkpoint.unfused_growth {
+            return Err(ResumeError::ConfigMismatch {
+                field: "unfused_growth",
+            });
+        }
+        // A decoded checkpoint has already passed these checks; re-run
+        // them so hand-constructed checkpoints get the same scrutiny.
+        checkpoint.validate().map_err(|e| match e {
+            CheckpointError::Invalid(what) => ResumeError::Corrupt(what),
+            _ => ResumeError::Corrupt("structural validation failed"),
+        })?;
+        let used = checkpoint.generated.len() as u64;
+        if config.budget < used {
+            return Err(ResumeError::BudgetBelowUsed {
+                used,
+                budget: config.budget,
+            });
+        }
+        let budget = BudgetTracker::restore(config.budget, checkpoint.generated)
+            .ok_or(ResumeError::Corrupt("duplicate generated address"))?;
+        let started = Instant::now();
+        let deadline = config.time_limit.map(|limit| started + limit);
+        let metrics = config.metrics.as_deref().map(EngineMetrics::new);
+        // The tree is a pure function of the seed list; rebuild it instead
+        // of shipping it in the checkpoint. The checkpointed list is
+        // already sorted and deduplicated, so `new` is a no-op reorder.
+        let engine = SixGen::new(checkpoint.seeds, config);
+        let root = {
+            let trace = engine.config.trace.as_deref();
+            let mut root = maybe_span(trace, "engine", "run", SpanId::NONE);
+            root.attr("seeds", engine.seeds.len() as u64);
+            root.attr("budget", engine.config.budget);
+            root.attr("resumed_at_round", checkpoint.rounds);
+            root.id()
+        };
+        let slots: Vec<Slot> = checkpoint
+            .slots
+            .into_iter()
+            .map(|s| Slot {
+                cluster: Cluster {
+                    range: s.range,
+                    seed_count: s.seed_count,
+                },
+                cached: match s.cached {
+                    CachedCheckpoint::Stale => Cached::Stale,
+                    CachedCheckpoint::Exhausted => Cached::Exhausted,
+                    CachedCheckpoint::Ready {
+                        range,
+                        seed_count,
+                        range_size,
+                    } => Cached::Ready(Growth {
+                        range,
+                        seed_count,
+                        range_size,
+                    }),
+                },
+            })
+            .collect();
+        // Keys and packed masks are caches over the slots; at a round
+        // boundary both are exactly what `SelectKey::of` / `packed_masks`
+        // derive, so they are rebuilt rather than serialized.
+        let keys = slots.iter().map(|s| SelectKey::of(&s.cached)).collect();
+        let packed = slots.iter().map(|s| s.cluster.range.packed_masks()).collect();
+        Ok(Session {
+            rng: StdRng::from_state(checkpoint.rng_state),
+            engine,
+            slots,
+            keys,
+            packed,
+            stale_indices: checkpoint.stale.iter().map(|&i| i as usize).collect(),
+            budget,
+            rounds: checkpoint.rounds,
+            growths: checkpoint.growths,
+            subsumed: checkpoint.subsumed,
+            worker_panics: checkpoint.worker_panics,
+            cpu_time: checkpoint.cpu_time,
+            prior_wall: checkpoint.wall_time,
+            started,
+            deadline,
+            metrics,
+            root,
+            done: None,
+        })
+    }
+
+    /// Snapshots the session's complete round-boundary state.
+    ///
+    /// Call between steps (the session is always at a boundary there).
+    /// The snapshot is independent of the live session — resuming it does
+    /// not require this process to survive.
+    ///
+    /// Termination is deliberately **not** part of the snapshot: a
+    /// checkpoint of an already-finished session resumes as a live one
+    /// and re-derives the stopping rule in one extra round. Checkpoint at
+    /// round boundaries of in-progress runs (as
+    /// [`run_with`](Session::run_with) hooks naturally do).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            mode: self.engine.config.mode,
+            unfused_growth: self.engine.config.unfused_growth,
+            rng_seed: self.engine.config.rng_seed,
+            budget: self.budget.budget(),
+            rng_state: self.rng.state(),
+            rounds: self.rounds,
+            growths: self.growths,
+            subsumed: self.subsumed,
+            worker_panics: self.worker_panics,
+            cpu_time: self.cpu_time,
+            wall_time: self.prior_wall + self.started.elapsed(),
+            seeds: self.engine.seeds.clone(),
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotCheckpoint {
+                    range: s.cluster.range.clone(),
+                    seed_count: s.cluster.seed_count,
+                    cached: match &s.cached {
+                        Cached::Stale => CachedCheckpoint::Stale,
+                        Cached::Exhausted => CachedCheckpoint::Exhausted,
+                        Cached::Ready(growth) => CachedCheckpoint::Ready {
+                            range: growth.range.clone(),
+                            seed_count: growth.seed_count,
+                            range_size: growth.range_size,
+                        },
+                    },
+                })
+                .collect(),
+            stale: self.stale_indices.iter().map(|&i| i as u64).collect(),
+            generated: self.budget.generated_in_order().to_vec(),
+        }
+    }
+
+    /// Runs one round of Algorithm 1: refresh stale growth caches, check
+    /// the deadline and cancel token, select the globally best growth,
+    /// and commit it (or stop).
+    ///
+    /// On [`Step::Grew`] the session is back at a round boundary. On
+    /// [`Step::Done`] the session is finished; further calls return the
+    /// same termination without doing work.
+    pub fn step(&mut self) -> Step {
+        if let Some(termination) = self.done {
+            return Step::Done(termination);
+        }
+        self.rounds += 1;
+        let total_seeds = self.engine.seeds.len() as u64;
+        let trace = self.engine.config.trace.clone();
+        let trace = trace.as_deref();
+
+        let phase_started = Instant::now();
+        {
+            let mut span = maybe_span(trace, "engine", "cache_fill", self.root);
+            let stale_now = std::mem::take(&mut self.stale_indices);
+            self.cpu_time += self.engine.fill_caches(
+                &mut self.slots,
+                &stale_now,
+                &mut self.worker_panics,
+                self.metrics.as_ref(),
+                trace,
+                span.id(),
+            );
+            for &i in &stale_now {
+                self.keys[i] = SelectKey::of(&self.slots[i].cached);
+            }
+            span.attr("clusters", self.slots.len() as u64);
+        }
+        if let Some(m) = &self.metrics {
+            m.cache_fill.record(phase_started.elapsed());
+        }
+
+        // Deadline and cancellation checks (once per round, after the
+        // cache refresh): a run cut short here is still a valid partial
+        // result because every seed has been in some cluster since
+        // initialization, and the session remains at a round boundary so
+        // a checkpoint taken now resumes cleanly.
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return self.stop(Termination::Deadline);
+            }
+        }
+        if let Some(token) = &self.engine.config.cancel {
+            if token.is_cancelled() {
+                return self.stop(Termination::Cancelled);
+            }
+        }
+
+        // Select the globally best cached growth: maximum density, then
+        // smallest range, then uniformly at random among exact ties
+        // (reservoir over scan order keeps this deterministic).
+        let phase_started = Instant::now();
+        let mut select_span = maybe_span(trace, "engine", "select", self.root);
+        select_span.attr("clusters", self.slots.len() as u64);
+        // The scan runs over the compact key array, not the slots; the
+        // comparison and tie-break logic (and therefore the RNG draw
+        // sequence) are identical to comparing the cached growths
+        // directly, pinned by SelectKey::preference's contract.
+        let keys = &self.keys;
+        let rng = &mut self.rng;
+        let mut best_index: Option<usize> = None;
+        let mut best_key = SelectKey::NONE;
+        let mut ties: u64 = 0;
+        for (i, key) in keys.iter().enumerate() {
+            if !key.is_ready() {
+                continue;
+            }
+            match best_index {
+                None => {
+                    best_index = Some(i);
+                    best_key = *key;
+                    ties = 1;
+                }
+                Some(_) => match key.preference(&best_key) {
+                    core::cmp::Ordering::Greater => {
+                        best_index = Some(i);
+                        best_key = *key;
+                        ties = 1;
+                    }
+                    core::cmp::Ordering::Equal => {
+                        ties += 1;
+                        if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
+                            best_index = Some(i);
+                            best_key = *key;
+                        }
+                    }
+                    core::cmp::Ordering::Less => {}
+                },
+            }
+        }
+        drop(select_span);
+        if let Some(m) = &self.metrics {
+            m.select.record(phase_started.elapsed());
+        }
+        let Some(grown_index) = best_index else {
+            // Every cluster contains all seeds: nothing can grow.
+            return self.stop(Termination::AllSeedsClustered);
+        };
+        let Cached::Ready(growth) = &self.slots[grown_index].cached else {
+            unreachable!("selected slot is Ready");
+        };
+
+        // Budget check first (Algorithm 1 computes the cost before the
+        // all-seeds test): an over-budget growth triggers the exact
+        // final-sampling path even if it would cluster all seeds.
+        if self.budget.cost_if_fits(&growth.range).is_none() {
+            let range = growth.range.clone();
+            let charge = self.budget.charge(&range, &mut self.rng);
+            debug_assert!(matches!(charge, Charge::Exhausted { .. }));
+            return self.stop(Termination::BudgetExhausted);
+        }
+        if growth.seed_count == total_seeds {
+            // The growth would merge all seeds into one cluster; per
+            // Algorithm 1 it is *not* committed.
+            return self.stop(Termination::AllSeedsClustered);
+        }
+
+        // Commit: charge the budget, adopt the grown range, invalidate
+        // this cluster's cache, and delete clusters subsumed by the new
+        // range (§5.4).
+        let phase_started = Instant::now();
+        let mut commit_span = maybe_span(trace, "engine", "commit", self.root);
+        let growth = growth.clone();
+        commit_span.attr("seed_count", growth.seed_count);
+        commit_span.attr(
+            "range_size",
+            u64::try_from(growth.range_size).unwrap_or(u64::MAX),
+        );
+        let charge = self.budget.charge(&growth.range, &mut self.rng);
+        debug_assert!(matches!(charge, Charge::Committed { .. }));
+        self.growths += 1;
+        self.slots[grown_index] = Slot {
+            cluster: Cluster {
+                range: growth.range,
+                seed_count: growth.seed_count,
+            },
+            cached: Cached::Stale,
+        };
+        self.keys[grown_index] = SelectKey::NONE;
+        self.packed[grown_index] = self.slots[grown_index].cluster.range.packed_masks();
+        let new_packed = self.packed[grown_index];
+        drop(commit_span);
+        if let Some(m) = &self.metrics {
+            m.commit.record(phase_started.elapsed());
+        }
+        let phase_started = Instant::now();
+        let mut subsume_span = maybe_span(trace, "engine", "subsume", self.root);
+        let before = self.slots.len();
+        // Compact `slots`, `packed`, and `keys` in one swap-based pass:
+        // the subset test reads only the packed mask array (four words
+        // per cluster), survivors swap down into place, and everything
+        // past the write cursor dies at truncate. The grown cluster's
+        // position is tracked through the compaction; it is the round's
+        // only stale cache (see `fill_caches` for why no other cache
+        // can be invalidated by this commit).
+        let mut write = 0;
+        let mut grown_new_index = grown_index;
+        for read in 0..self.slots.len() {
+            let keep = read == grown_index || !self.packed[read].is_subset(&new_packed);
+            if keep {
+                if read == grown_index {
+                    grown_new_index = write;
+                }
+                if read != write {
+                    self.slots.swap(read, write);
+                    self.packed[write] = self.packed[read];
+                    self.keys[write] = self.keys[read];
+                }
+                write += 1;
+            }
+        }
+        self.slots.truncate(write);
+        self.packed.truncate(write);
+        self.keys.truncate(write);
+        self.stale_indices.push(grown_new_index);
+        self.subsumed += (before - self.slots.len()) as u64;
+        subsume_span.attr("subsumed", (before - self.slots.len()) as u64);
+        drop(subsume_span);
+        if let Some(m) = &self.metrics {
+            m.subsume.record(phase_started.elapsed());
+        }
+        Step::Grew
+    }
+
+    fn stop(&mut self, termination: Termination) -> Step {
+        self.done = Some(termination);
+        Step::Done(termination)
+    }
+
+    /// Steps to termination. Equivalent to `run_with(|_| {})`.
+    pub fn run(self) -> Outcome {
+        self.run_with(|_| {})
+    }
+
+    /// Steps to termination, invoking `after_round` at every round
+    /// boundary (after each committed growth) — the hook where callers
+    /// checkpoint, report progress, or decide to cancel.
+    pub fn run_with(mut self, mut after_round: impl FnMut(&mut Session)) -> Outcome {
+        loop {
+            match self.step() {
+                Step::Grew => after_round(&mut self),
+                Step::Done(_) => return self.finish(),
+            }
+        }
+    }
+
+    /// Consumes the finished session into its [`Outcome`], exporting the
+    /// final [`RunStats`] through the metrics registry (only here: a
+    /// session that dies before finishing — crash, drop — exports
+    /// nothing, so a registry shared across an interrupt/resume cycle
+    /// counts the logical run exactly once).
+    ///
+    /// # Panics
+    ///
+    /// If the session has not terminated (no [`Step::Done`] yet).
+    pub fn finish(self) -> Outcome {
+        let termination = self
+            .done
+            .expect("finish() requires a terminated session; step() until Step::Done");
+        let clusters = self
+            .slots
+            .into_iter()
+            .map(|s| ClusterInfo {
+                range_size: s.cluster.range.size(),
+                seed_count: s.cluster.seed_count,
+                range: s.cluster.range,
+            })
+            .collect();
+        let stats = RunStats {
+            rounds: self.rounds,
+            growths: self.growths,
+            subsumed: self.subsumed,
+            budget_used: self.budget.used(),
+            budget: self.budget.budget(),
+            seed_count: self.engine.seeds.len() as u64,
+            wall_time: self.prior_wall + self.started.elapsed(),
+            cpu_time: self.cpu_time,
+            worker_panics: self.worker_panics,
+            termination,
+        };
+        if let Some(m) = &self.metrics {
+            m.export_stats(&stats);
+        }
+        Outcome {
+            targets: TargetSet::from_ordered(self.budget.into_targets()),
+            clusters,
+            stats,
+        }
+    }
+
+    /// The termination, once a stopping rule has fired (`None` while the
+    /// session can still step).
+    pub fn termination(&self) -> Option<Termination> {
+        self.done
+    }
+
+    /// Main-loop rounds started, cumulative across resumed segments.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Growths committed, cumulative across resumed segments.
+    pub fn growths(&self) -> u64 {
+        self.growths
+    }
+
+    /// Unique addresses generated so far.
+    pub fn budget_used(&self) -> u64 {
+        self.budget.used()
+    }
+
+    /// Live clusters at the current round boundary.
+    pub fn cluster_count(&self) -> usize {
+        self.slots.len()
     }
 }
 

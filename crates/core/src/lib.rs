@@ -47,6 +47,8 @@
 
 pub mod adaptive;
 mod budget;
+mod cancel;
+mod checkpoint;
 mod cluster;
 mod draw;
 mod engine;
@@ -54,11 +56,16 @@ mod outcome;
 
 pub use adaptive::{adaptive_scan, AdaptiveConfig, AdaptiveOutcome, RegionFate, RegionReport};
 pub use budget::{BudgetTracker, Charge};
+pub use cancel::CancelToken;
+pub use checkpoint::{
+    CachedCheckpoint, CheckpointError, CheckpointWriter, EngineCheckpoint, SlotCheckpoint,
+    FORMAT_VERSION,
+};
 pub use cluster::{
     best_growth, evaluate_growth, evaluate_growth_unfused, Cluster, Growth, GrowthEvaluation,
 };
 pub use draw::bounded_draw;
-pub use engine::{run, run_grouped, SixGen};
+pub use engine::{run, run_grouped, ResumeError, Session, SixGen, Step};
 pub use outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
 
 /// How cluster ranges widen when a new seed is absorbed (§5.3, §6.3).
@@ -113,6 +120,12 @@ pub struct Config {
     /// observes: traced and bare runs produce identical targets and
     /// identical deterministic metrics.
     pub trace: Option<std::sync::Arc<sixgen_obs::TraceSink>>,
+    /// Optional cooperative cancellation token. The engine polls it once
+    /// per round, right after the deadline check; when cancelled, the run
+    /// stops with [`Termination::Cancelled`] and the same well-formed
+    /// partial [`Outcome`] guarantees as a deadline stop. Cloning a
+    /// `Config` shares the token (clones observe the same flag).
+    pub cancel: Option<CancelToken>,
     /// Test hook: deterministic growth-worker panic injection. Not part of
     /// the stable API.
     #[doc(hidden)]
@@ -151,6 +164,7 @@ impl Default for Config {
             time_limit: None,
             metrics: None,
             trace: None,
+            cancel: None,
             panic_injection: None,
             unfused_growth: false,
         }

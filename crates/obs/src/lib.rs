@@ -53,9 +53,44 @@ pub use trace::{maybe_span, validate_json, Span, SpanId, SpanRecord, SummaryRow,
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Writes `bytes` to `path` atomically: the content goes to a temporary
+/// file in the same directory (`<name>.tmp`), is flushed to disk, and is
+/// renamed over the destination. Readers therefore always see either the
+/// previous complete file or the new complete file — never a torn,
+/// half-written artifact, even if the process crashes mid-write.
+///
+/// Used for every artifact this workspace persists (metrics exports,
+/// traces, engine checkpoints). The temporary file is removed on failure,
+/// best-effort.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("path has no file name: {}", path.display()),
+            )
+        })?
+        .to_os_string();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]

@@ -32,6 +32,20 @@
 //! [`dropped`](TraceSink::dropped) counter increments; both exporters
 //! surface the drop count so a truncated trace is never mistaken for a
 //! complete one.
+//!
+//! ## Streaming
+//!
+//! The rings bound memory by forgetting the oldest spans — fine for
+//! post-hoc summaries, lossy for long runs. [`TraceSink::stream_to`]
+//! additionally appends every span to a writer *as it completes*, in
+//! Chrome trace-event form, so a multi-hour run's full span history lands
+//! on disk while the rings keep only the recent window. Streamed output
+//! is incremental but still one valid JSON document once
+//! [`TraceSink::finish_stream`] writes the trailer; a process killed
+//! mid-stream leaves a truncated-but-greppable event log. Stream write
+//! failures never disturb the run: the first error permanently disables
+//! streaming (counted in [`TraceSink::stream_errors`]) and recording
+//! continues ring-only.
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -149,6 +163,46 @@ fn thread_id() -> u64 {
     })
 }
 
+/// Appends one span as a Chrome complete (`"ph":"X"`) trace event. Shared
+/// by the batch exporter ([`TraceSink::to_chrome_json`]) and the live
+/// stream so both emit byte-identical events. Timestamps and durations
+/// are microseconds with the nanosecond remainder as three decimals.
+fn chrome_event(span: &SpanRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\
+         \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"span_id\":{}",
+        span.thread,
+        escape_json(span.category),
+        escape_json(span.name),
+        span.start_ns / 1_000,
+        span.start_ns % 1_000,
+        span.duration_ns() / 1_000,
+        span.duration_ns() % 1_000,
+        span.id,
+    );
+    if span.parent != 0 {
+        let _ = write!(out, ",\"parent\":{}", span.parent);
+    }
+    for (key, value) in span.attrs() {
+        let _ = write!(out, ",\"{}\":{value}", escape_json(key));
+    }
+    out.push_str("}}");
+}
+
+/// Live destination for streamed span events. The preamble always emits a
+/// metadata event, so every subsequent event is comma-prefixed — no
+/// first-event state to track.
+struct StreamState {
+    writer: Box<dyn std::io::Write + Send>,
+}
+
+impl std::fmt::Debug for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamState").finish_non_exhaustive()
+    }
+}
+
 /// A bounded collector of [`Span`]s. See the module docs for the overhead
 /// and boundedness guarantees.
 #[derive(Debug)]
@@ -160,6 +214,12 @@ pub struct TraceSink {
     next_id: AtomicU64,
     dropped: AtomicU64,
     epoch: Instant,
+    /// Fast-path flag mirroring `stream.is_some()`; checked lock-free on
+    /// every record so non-streaming sinks pay one relaxed load.
+    stream_active: AtomicBool,
+    stream: Mutex<Option<StreamState>>,
+    streamed: AtomicU64,
+    stream_errors: AtomicU64,
 }
 
 impl Default for TraceSink {
@@ -188,6 +248,10 @@ impl TraceSink {
             next_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             epoch: Instant::now(),
+            stream_active: AtomicBool::new(false),
+            stream: Mutex::new(None),
+            streamed: AtomicU64::new(0),
+            stream_errors: AtomicU64::new(0),
         }
     }
 
@@ -251,6 +315,9 @@ impl TraceSink {
     }
 
     fn record(&self, record: SpanRecord) {
+        if self.stream_active.load(Ordering::Relaxed) {
+            self.stream_event(&record);
+        }
         let shard = (record.thread as usize) % SHARDS;
         let wrapped = self.shards[shard]
             .lock()
@@ -258,6 +325,83 @@ impl TraceSink {
             .push(record, self.capacity);
         if wrapped {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Attaches a live writer: every span recorded from now on is also
+    /// appended to `writer` as a Chrome trace event, in completion order
+    /// (Chrome/Perfetto sort by timestamp on load). Writes the document
+    /// preamble immediately; call [`finish_stream`](Self::finish_stream)
+    /// to close the document. Replaces any previous stream without closing
+    /// it. Spans recorded before this call are *not* replayed — stream
+    /// early, before the rings can wrap.
+    pub fn stream_to(&self, mut writer: Box<dyn std::io::Write + Send>) -> std::io::Result<()> {
+        writer.write_all(
+            b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+              {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+              \"args\":{\"name\":\"sixgen\"}}",
+        )?;
+        let mut slot = self.stream.lock().expect("trace stream poisoned");
+        *slot = Some(StreamState { writer });
+        self.stream_active.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Closes the streamed document: writes the `]` terminator plus an
+    /// `otherData` object carrying the streamed/error/ring-drop counters,
+    /// flushes, and drops the writer. A no-op returning `Ok` when no
+    /// stream is active (including after a write error already tore the
+    /// stream down).
+    pub fn finish_stream(&self) -> std::io::Result<()> {
+        self.stream_active.store(false, Ordering::Relaxed);
+        let state = self.stream.lock().expect("trace stream poisoned").take();
+        let Some(mut state) = state else {
+            return Ok(());
+        };
+        let trailer = format!(
+            "\n],\"otherData\":{{\"spans_streamed\":{},\"stream_write_errors\":{},\
+             \"ring_dropped_spans\":{}}}}}\n",
+            self.streamed(),
+            self.stream_errors(),
+            self.dropped()
+        );
+        state.writer.write_all(trailer.as_bytes())?;
+        state.writer.flush()
+    }
+
+    /// Number of span events successfully written to the stream.
+    pub fn streamed(&self) -> u64 {
+        self.streamed.load(Ordering::Relaxed)
+    }
+
+    /// Number of stream write failures. The first failure permanently
+    /// disables streaming (recording continues ring-only), so this is
+    /// effectively 0 or 1 per [`stream_to`](Self::stream_to) call.
+    pub fn stream_errors(&self) -> u64 {
+        self.stream_errors.load(Ordering::Relaxed)
+    }
+
+    /// Formats and appends one span event to the active stream. The event
+    /// JSON is built *before* taking the stream lock so contention covers
+    /// only the write itself. On write failure the stream is torn down —
+    /// tracing must never take down the traced run.
+    fn stream_event(&self, record: &SpanRecord) {
+        let mut event = String::with_capacity(192);
+        event.push_str(",\n");
+        chrome_event(record, &mut event);
+        let mut slot = self.stream.lock().expect("trace stream poisoned");
+        let Some(state) = slot.as_mut() else {
+            return;
+        };
+        match state.writer.write_all(event.as_bytes()) {
+            Ok(()) => {
+                self.streamed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stream_errors.fetch_add(1, Ordering::Relaxed);
+                self.stream_active.store(false, Ordering::Relaxed);
+                *slot = None;
+            }
         }
     }
 
@@ -296,26 +440,7 @@ impl TraceSink {
         );
         for span in &spans {
             out.push(',');
-            let _ = write!(
-                out,
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\
-                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"span_id\":{}",
-                span.thread,
-                escape_json(span.category),
-                escape_json(span.name),
-                span.start_ns / 1_000,
-                span.start_ns % 1_000,
-                span.duration_ns() / 1_000,
-                span.duration_ns() % 1_000,
-                span.id,
-            );
-            if span.parent != 0 {
-                let _ = write!(out, ",\"parent\":{}", span.parent);
-            }
-            for (key, value) in span.attrs() {
-                let _ = write!(out, ",\"{}\":{value}", escape_json(key));
-            }
-            out.push_str("}}");
+            chrome_event(span, &mut out);
         }
         out.push_str("]}");
         out
@@ -824,5 +949,123 @@ mod tests {
         assert_eq!(format_ns(4_500), "4.5µs");
         assert_eq!(format_ns(7_890_000), "7.89ms");
         assert_eq!(format_ns(1_230_000_000), "1.23s");
+    }
+
+    /// A `Write` handle whose buffer outlives the sink that owns the
+    /// boxed writer, so tests can inspect streamed bytes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_outlives_ring_capacity() {
+        // Single-threaded, one shard of capacity 4 — but the stream keeps
+        // everything the ring forgot.
+        let sink = TraceSink::with_capacity(4);
+        let buf = SharedBuf::default();
+        sink.stream_to(Box::new(buf.clone())).unwrap();
+        let names: [&'static str; 12] = [
+            "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        ];
+        for name in names {
+            drop(sink.span("t", name, SpanId::NONE));
+        }
+        assert_eq!(sink.len(), 4, "ring retention unchanged by streaming");
+        assert_eq!(sink.dropped(), 8);
+        assert_eq!(sink.streamed(), 12, "every span streamed");
+        assert_eq!(sink.stream_errors(), 0);
+        sink.finish_stream().unwrap();
+        let doc = buf.contents();
+        validate_json(doc.trim_end()).expect("streamed document parses");
+        for name in names {
+            assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{name} streamed");
+        }
+        assert!(doc.contains("\"spans_streamed\":12"));
+        assert!(doc.contains("\"ring_dropped_spans\":8"));
+        assert!(doc.contains("\"process_name\""));
+        // Batch and stream share the event formatter: a retained span's
+        // event appears byte-identically in both documents.
+        let batch = sink.to_chrome_json();
+        let streamed_line = doc
+            .lines()
+            .find(|l| l.contains("\"name\":\"s11\""))
+            .expect("s11 line");
+        assert!(batch.contains(streamed_line.trim_end_matches(',')));
+    }
+
+    #[test]
+    fn finish_stream_without_stream_is_a_no_op() {
+        let sink = TraceSink::new();
+        sink.finish_stream().unwrap();
+        assert_eq!(sink.streamed(), 0);
+    }
+
+    /// Fails every write after the preamble succeeds.
+    struct FlakyWriter {
+        writes_left: u32,
+    }
+
+    impl std::io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.writes_left == 0 {
+                return Err(std::io::Error::other("disk on fire"));
+            }
+            self.writes_left -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stream_write_failure_disables_streaming_without_losing_ring() {
+        let sink = TraceSink::new();
+        sink.stream_to(Box::new(FlakyWriter { writes_left: 1 }))
+            .unwrap();
+        for _ in 0..5 {
+            drop(sink.span("t", "work", SpanId::NONE));
+        }
+        assert_eq!(sink.stream_errors(), 1, "first failure counted once");
+        assert_eq!(sink.streamed(), 0);
+        assert_eq!(sink.len(), 5, "ring recording unaffected");
+        // The stream tore down; finishing is now a clean no-op.
+        sink.finish_stream().unwrap();
+    }
+
+    #[test]
+    fn streamed_events_from_many_threads_form_valid_json() {
+        let sink = TraceSink::with_capacity(8);
+        let buf = SharedBuf::default();
+        sink.stream_to(Box::new(buf.clone())).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        drop(sink.span("t", "work", SpanId::NONE));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.streamed(), 200);
+        sink.finish_stream().unwrap();
+        let doc = buf.contents();
+        validate_json(doc.trim_end()).expect("concurrent streamed document parses");
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 200);
     }
 }

@@ -26,7 +26,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sixgen::addr::NybbleAddr;
-use sixgen::core::{ClusterMode, Config, SixGen};
+use sixgen::core::{
+    CheckpointWriter, ClusterMode, Config, EngineCheckpoint, Outcome, Session, SixGen,
+};
 use sixgen::datasets::io::{read_hitlist_file, write_hitlist_binary_file, write_hitlist_file};
 use sixgen::datasets::split_groups;
 use sixgen::entropy_ip::{entropy_profile, EntropyIpConfig, EntropyIpModel};
@@ -37,14 +39,16 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom] [--trace-out FILE] [--trace-summary]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom]\n                    [--trace-out FILE] [--trace-summary]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)\n--metrics-out: write engine/prober metrics (JSON by default; a .prom extension\n               or --metrics-format prom selects Prometheus text exposition)\n--trace-out: write a Chrome trace-event JSON (Perfetto / chrome://tracing)\n--trace-summary: print a per-span-kind self-time summary table"
+        "usage:\n  sixgen generate   --seeds FILE [--budget N] [--mode loose|tight] [--out FILE] [--binary] [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom] [--trace-out FILE] [--trace-stream FILE] [--trace-summary] [--checkpoint-out FILE] [--checkpoint-every N] [--resume CKPT]\n  sixgen analyze    --seeds FILE [--budget N]\n  sixgen split      --seeds FILE --groups K --out-prefix PATH [--rng-seed N]\n  sixgen entropy-ip --seeds FILE [--budget N] [--out FILE] [--rng-seed N]\n  sixgen simulate   [--hosts N] [--budget N] [--loss P] [--bursty] [--rate-limit PPS]\n                    [--retries N] [--backoff DUR] [--retransmit-budget N] [--rate-pps N]\n                    [--rng-seed N] [--time-limit DUR] [--metrics-out FILE] [--metrics-format json|prom]\n                    [--trace-out FILE] [--trace-stream FILE] [--trace-summary]\n                    [--checkpoint-out FILE] [--checkpoint-every N] [--resume CKPT]\n\nDUR: seconds, or with ms/s/m/h suffix (e.g. 250ms, 90s, 5m)\n--metrics-out: write engine/prober metrics (JSON by default; a .prom extension\n               or --metrics-format prom selects Prometheus text exposition)\n--trace-out: write a Chrome trace-event JSON (Perfetto / chrome://tracing)\n--trace-stream: additionally stream every span to FILE as it completes\n                (lossless; --trace-out's ring keeps only the newest spans)\n--trace-summary: print a per-span-kind self-time summary table\n--checkpoint-out: snapshot resumable engine state to FILE (atomic rename)\n                  every N rounds (--checkpoint-every, default 1)\n--resume: continue an interrupted run from a checkpoint; the seed set, mode,\n          and RNG seed come from the checkpoint, and --budget (if given)\n          tops up the probe budget"
     );
     ExitCode::from(2)
 }
 
 struct Cli {
     seeds: Option<PathBuf>,
-    budget: u64,
+    /// `None` means "not given": commands default to 1 000 000, and
+    /// `--resume` continues under the checkpoint's budget.
+    budget: Option<u64>,
     mode: ClusterMode,
     out: Option<PathBuf>,
     binary: bool,
@@ -63,7 +67,11 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     metrics_format: Option<MetricsFormat>,
     trace_out: Option<PathBuf>,
+    trace_stream: Option<PathBuf>,
     trace_summary: bool,
+    checkpoint_out: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: Option<PathBuf>,
 }
 
 /// Output format for `--metrics-out`.
@@ -97,7 +105,7 @@ fn parse_duration(text: &str) -> Option<std::time::Duration> {
 fn parse(args: &[String]) -> Option<Cli> {
     let mut cli = Cli {
         seeds: None,
-        budget: 1_000_000,
+        budget: None,
         mode: ClusterMode::Loose,
         out: None,
         binary: false,
@@ -116,13 +124,17 @@ fn parse(args: &[String]) -> Option<Cli> {
         metrics_out: None,
         metrics_format: None,
         trace_out: None,
+        trace_stream: None,
         trace_summary: false,
+        checkpoint_out: None,
+        checkpoint_every: None,
+        resume: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seeds" => cli.seeds = Some(PathBuf::from(it.next()?)),
-            "--budget" => cli.budget = it.next()?.parse().ok()?,
+            "--budget" => cli.budget = Some(it.next()?.parse().ok()?),
             "--mode" => {
                 cli.mode = match it.next()?.as_str() {
                     "loose" => ClusterMode::Loose,
@@ -153,11 +165,20 @@ fn parse(args: &[String]) -> Option<Cli> {
                 })
             }
             "--trace-out" => cli.trace_out = Some(PathBuf::from(it.next()?)),
+            "--trace-stream" => cli.trace_stream = Some(PathBuf::from(it.next()?)),
             "--trace-summary" => cli.trace_summary = true,
+            "--checkpoint-out" => cli.checkpoint_out = Some(PathBuf::from(it.next()?)),
+            "--checkpoint-every" => cli.checkpoint_every = Some(it.next()?.parse().ok()?),
+            "--resume" => cli.resume = Some(PathBuf::from(it.next()?)),
             _ => return None,
         }
     }
     Some(cli)
+}
+
+/// The probe budget: `--budget` when given, else the historical default.
+fn budget(cli: &Cli) -> u64 {
+    cli.budget.unwrap_or(1_000_000)
 }
 
 fn load_seeds(cli: &Cli) -> Result<Vec<NybbleAddr>, String> {
@@ -206,23 +227,55 @@ fn write_metrics(cli: &Cli, registry: &Option<Arc<MetricsRegistry>>) -> Result<(
             MetricsFormat::Json => (registry.to_json(), "json"),
             MetricsFormat::Prometheus => (registry.to_prometheus(), "prometheus"),
         };
-        std::fs::write(path, body)
+        sixgen::obs::write_atomic(path, body.as_bytes())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         eprintln!("metrics written to {} ({label})", path.display());
     }
     Ok(())
 }
 
-/// Creates a trace sink when `--trace-out` or `--trace-summary` was given.
-fn trace_sink(cli: &Cli) -> Option<Arc<TraceSink>> {
-    (cli.trace_out.is_some() || cli.trace_summary).then(TraceSink::shared)
+/// Creates a trace sink when `--trace-out`, `--trace-stream`, or
+/// `--trace-summary` was given. A `--trace-stream` path is opened (and the
+/// document preamble written) immediately, so spans stream from the first
+/// round onward.
+fn trace_sink(cli: &Cli) -> Result<Option<Arc<TraceSink>>, String> {
+    if cli.trace_out.is_none() && cli.trace_stream.is_none() && !cli.trace_summary {
+        return Ok(None);
+    }
+    let sink = TraceSink::shared();
+    if let Some(path) = &cli.trace_stream {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        sink.stream_to(Box::new(std::io::BufWriter::new(file)))
+            .map_err(|e| format!("cannot stream to {}: {e}", path.display()))?;
+    }
+    Ok(Some(sink))
 }
 
-/// Writes the Chrome trace and/or prints the summary table, per the flags.
+/// Writes the Chrome trace and/or prints the summary table, per the flags,
+/// and closes the `--trace-stream` document.
 fn write_trace(cli: &Cli, sink: &Option<Arc<TraceSink>>) -> Result<(), String> {
     let Some(sink) = sink else { return Ok(()) };
+    if let Some(path) = &cli.trace_stream {
+        let errors = sink.stream_errors();
+        sink.finish_stream()
+            .map_err(|e| format!("cannot finish {}: {e}", path.display()))?;
+        if errors > 0 {
+            eprintln!(
+                "warning: trace stream to {} failed after {} spans",
+                path.display(),
+                sink.streamed()
+            );
+        } else {
+            eprintln!(
+                "trace streamed to {} ({} spans)",
+                path.display(),
+                sink.streamed()
+            );
+        }
+    }
     if let Some(path) = &cli.trace_out {
-        std::fs::write(path, sink.to_chrome_json())
+        sixgen::obs::write_atomic(path, sink.to_chrome_json().as_bytes())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         eprintln!(
             "trace written to {} ({} spans, {} dropped)",
@@ -237,14 +290,80 @@ fn write_trace(cli: &Cli, sink: &Option<Arc<TraceSink>>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the engine as a session, honouring `--resume`, `--checkpoint-out`,
+/// and `--checkpoint-every`. On resume the checkpoint is authoritative for
+/// the seed set and determinism fingerprint (`seeds` is ignored); an
+/// explicit `--budget` tops up the probe budget, otherwise the
+/// checkpoint's budget continues to apply.
+fn run_engine(cli: &Cli, seeds: Vec<NybbleAddr>, config: Config) -> Result<Outcome, String> {
+    let session = match &cli.resume {
+        Some(path) => {
+            let checkpoint = EngineCheckpoint::load(path)
+                .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
+            eprintln!(
+                "resuming from {} (round {}, {} targets already generated)",
+                path.display(),
+                checkpoint.rounds,
+                checkpoint.generated.len()
+            );
+            let config = Config {
+                mode: checkpoint.mode,
+                rng_seed: checkpoint.rng_seed,
+                unfused_growth: checkpoint.unfused_growth,
+                budget: cli.budget.unwrap_or(checkpoint.budget),
+                ..config
+            };
+            Session::resume(checkpoint, config)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?
+        }
+        None => SixGen::new(seeds, config).session(),
+    };
+    let Some(path) = &cli.checkpoint_out else {
+        if cli.checkpoint_every.is_some() {
+            return Err("--checkpoint-every requires --checkpoint-out".into());
+        }
+        return Ok(session.run());
+    };
+    let every = cli.checkpoint_every.unwrap_or(1).max(1);
+    let mut writer = CheckpointWriter::new(path);
+    let mut broken = false;
+    let outcome = session.run_with(|session| {
+        if broken || !session.rounds().is_multiple_of(every) {
+            return;
+        }
+        if let Err(e) = writer.write(&session.checkpoint()) {
+            eprintln!(
+                "warning: checkpoint write to {} failed persistently ({e}); \
+                 continuing without further checkpoints",
+                path.display()
+            );
+            broken = true;
+        }
+    });
+    if writer.writes() > 0 {
+        eprintln!(
+            "{} checkpoint(s) written to {}",
+            writer.writes(),
+            path.display()
+        );
+    }
+    Ok(outcome)
+}
+
 fn cmd_generate(cli: &Cli) -> Result<(), String> {
-    let seeds = load_seeds(cli)?;
+    // On resume the checkpoint carries the seed set; --seeds is not needed.
+    let seeds = if cli.resume.is_some() {
+        Vec::new()
+    } else {
+        load_seeds(cli)?
+    };
     let metrics = metrics_registry(cli);
-    let trace = trace_sink(cli);
-    let outcome = SixGen::new(
+    let trace = trace_sink(cli)?;
+    let outcome = run_engine(
+        cli,
         seeds,
         Config {
-            budget: cli.budget,
+            budget: budget(cli),
             mode: cli.mode,
             threads: 0,
             rng_seed: cli.rng_seed,
@@ -253,8 +372,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), String> {
             trace: trace.clone(),
             ..Config::default()
         },
-    )
-    .run();
+    )?;
     eprintln!(
         "6Gen: {} targets from {} seeds ({} clusters, stopped: {:?})",
         outcome.targets.len(),
@@ -279,14 +397,14 @@ fn cmd_analyze(cli: &Cli) -> Result<(), String> {
     let outcome = SixGen::new(
         seeds,
         Config {
-            budget: cli.budget,
+            budget: budget(cli),
             rng_seed: cli.rng_seed,
             threads: 0,
             ..Config::default()
         },
     )
     .run();
-    println!("\n6Gen clusters (budget {}):", cli.budget);
+    println!("\n6Gen clusters (budget {}):", budget(cli));
     let mut clusters = outcome.clusters;
     clusters.sort_by_key(|c| std::cmp::Reverse(c.seed_count));
     for c in clusters.iter().take(24) {
@@ -326,10 +444,10 @@ fn cmd_entropy_ip(cli: &Cli) -> Result<(), String> {
     eprintln!(
         "Entropy/IP: {} segments, generating up to {} targets",
         model.segments().len(),
-        cli.budget
+        budget(cli)
     );
     let mut rng = StdRng::seed_from_u64(cli.rng_seed);
-    let targets = model.generate(cli.budget as usize, &mut rng);
+    let targets = model.generate(budget(cli) as usize, &mut rng);
     eprintln!("generated {} distinct targets", targets.len());
     write_targets(cli, &targets)
 }
@@ -359,7 +477,7 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         None => RetryPolicy::Immediate,
     };
     let metrics = metrics_registry(cli);
-    let trace = trace_sink(cli);
+    let trace = trace_sink(cli)?;
     let probe_config = ProbeConfig {
         loss: cli.loss,
         retries: cli.retries,
@@ -402,10 +520,11 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
         .into_iter()
         .map(|record| record.addr)
         .collect();
-    let outcome = SixGen::new(
-        seeds.iter().copied(),
+    let outcome = run_engine(
+        cli,
+        seeds.clone(),
         Config {
-            budget: cli.budget,
+            budget: budget(cli),
             mode: cli.mode,
             threads: 0,
             rng_seed: cli.rng_seed,
@@ -414,12 +533,11 @@ fn cmd_simulate(cli: &Cli) -> Result<(), String> {
             trace: trace.clone(),
             ..Config::default()
         },
-    )
-    .run();
+    )?;
     eprintln!(
         "6Gen: {} targets from {} seeds (stopped: {:?})",
         outcome.targets.len(),
-        seeds.len(),
+        outcome.stats.seed_count,
         outcome.stats.termination,
     );
 

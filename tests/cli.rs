@@ -384,6 +384,180 @@ fn simulate_trace_covers_prober_spans() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Seeds in pairwise-distant dense groups: a multi-round run with one
+/// growth per group, good for interrupting at many boundaries.
+fn write_ladder_seeds(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("ladder.txt");
+    let mut text = String::new();
+    for group in 1..=9u32 {
+        for host in 0..3u32 {
+            text.push_str(&format!("2001:db8::{group}{group}{group}{host:x}\n"));
+        }
+    }
+    std::fs::write(&path, text).expect("write seeds");
+    path
+}
+
+#[test]
+fn checkpointed_run_resumes_byte_identical() {
+    let dir = workdir("checkpoint");
+    let seeds = write_ladder_seeds(&dir);
+    let baseline = dir.join("baseline.txt");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--out"])
+        .arg(&baseline)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+
+    // Checkpointed run: every round snapshots to the same file.
+    let ckpt = dir.join("run.ckpt");
+    let full = dir.join("full.txt");
+    let output = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--checkpoint-out"])
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "1", "--out"])
+        .arg(&full)
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("checkpoint(s) written"), "{stderr}");
+    assert!(ckpt.exists(), "checkpoint file persisted");
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        std::fs::read_to_string(&full).unwrap(),
+        "checkpointing changed the targets"
+    );
+
+    // Resume from the last boundary: no --seeds needed, same targets.
+    let resumed = dir.join("resumed.txt");
+    let output = bin()
+        .args(["generate", "--resume"])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(&resumed)
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("resuming from"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        std::fs::read_to_string(&resumed).unwrap(),
+        "resumed run diverged from the uninterrupted one"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_tops_up_budget_but_refuses_lowering_it() {
+    let dir = workdir("resume-budget");
+    let seeds = write_ladder_seeds(&dir);
+    let ckpt = dir.join("run.ckpt");
+    let status = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--checkpoint-out"])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(dir.join("full.txt"))
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+
+    // Topping up continues past the original budget.
+    let topped = dir.join("topped.txt");
+    let status = bin()
+        .args(["generate", "--resume"])
+        .arg(&ckpt)
+        .args(["--budget", "400", "--out"])
+        .arg(&topped)
+        .status()
+        .expect("run sixgen");
+    assert!(status.success());
+    let count = std::fs::read_to_string(&topped).unwrap().lines().count();
+    assert_eq!(count, 400, "topped-up budget fully consumed");
+
+    // A budget below what was already generated is refused.
+    let output = bin()
+        .args(["generate", "--resume"])
+        .arg(&ckpt)
+        .args(["--budget", "1"])
+        .output()
+        .expect("run sixgen");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("below"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_garbage_checkpoint() {
+    let dir = workdir("resume-garbage");
+    let ckpt = dir.join("bogus.ckpt");
+    std::fs::write(&ckpt, b"not a checkpoint").unwrap();
+    let output = bin()
+        .args(["generate", "--resume"])
+        .arg(&ckpt)
+        .output()
+        .expect("run sixgen");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot load checkpoint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_every_requires_checkpoint_out() {
+    let dir = workdir("every-without-out");
+    let seeds = write_ladder_seeds(&dir);
+    let output = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--checkpoint-every", "2"])
+        .output()
+        .expect("run sixgen");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--checkpoint-out"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_stream_writes_incremental_document() {
+    let dir = workdir("trace-stream");
+    let seeds = write_ladder_seeds(&dir);
+    let stream = dir.join("stream.json");
+    let output = bin()
+        .args(["generate", "--seeds"])
+        .arg(&seeds)
+        .args(["--budget", "300", "--trace-stream"])
+        .arg(&stream)
+        .arg("--out")
+        .arg(dir.join("targets.txt"))
+        .output()
+        .expect("run sixgen");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("trace streamed to"), "{stderr}");
+    let body = std::fs::read_to_string(&stream).expect("read streamed trace");
+    sixgen::obs::validate_json(body.trim_end()).expect("streamed trace parses as JSON");
+    for key in [
+        "\"traceEvents\"",
+        "\"cat\":\"engine\"",
+        "\"spans_streamed\"",
+        "\"stream_write_errors\":0",
+    ] {
+        assert!(body.contains(key), "missing {key}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let status = bin().status().expect("run sixgen");
