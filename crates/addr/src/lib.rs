@@ -71,6 +71,7 @@ pub use range::{PackedMasks, Range, RangeIter, RangeSampler};
 pub use tree::{CandidateGroup, GrowthCandidates, NybbleTree};
 pub use u256::U256;
 
+
 /// Compares two densities `a_count / a_size` and `b_count / b_size` exactly.
 ///
 /// Seed density (cluster seed-set size divided by cluster range size, §5.4 of

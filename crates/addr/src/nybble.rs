@@ -188,6 +188,12 @@ impl NybbleSet {
         (!self.is_empty()).then(|| self.0.trailing_zeros() as u8)
     }
 
+    /// The largest allowed value, if the set is non-empty.
+    #[inline]
+    pub fn max_value(self) -> Option<u8> {
+        (!self.is_empty()).then(|| (15 - self.0.leading_zeros()) as u8)
+    }
+
     /// Iterates the allowed values in increasing order.
     pub fn values(self) -> impl Iterator<Item = u8> + Clone {
         (0u8..16).filter(move |&v| self.0 & (1 << v) != 0)

@@ -129,6 +129,32 @@ impl Range {
         Some(Range::from_sets(sets))
     }
 
+    /// Packed mask of the *fixed* (single-value) positions: nybble `i` is
+    /// `0xF` iff position `i`'s set holds exactly one value. With
+    /// [`fixed_values`], supports word-parallel mismatch tests over many
+    /// addresses.
+    ///
+    /// [`fixed_values`]: Range::fixed_values
+    #[inline]
+    pub fn fixed_mask(&self) -> u128 {
+        self.fixed_mask
+    }
+
+    /// The single allowed value at every fixed position, packed at the
+    /// position's nybble (zero elsewhere). See [`Range::fixed_mask`].
+    #[inline]
+    pub fn fixed_values(&self) -> u128 {
+        self.fixed_values
+    }
+
+    /// The *partial* positions — more than one value allowed but not a
+    /// full wildcard — ascending. Usually a handful: scan these
+    /// one-by-one after a word-parallel pass over the fixed positions.
+    #[inline]
+    pub fn partial_positions(&self) -> &[u8] {
+        &self.partial
+    }
+
     /// The number of *dynamic* positions (sets with more than one value).
     pub fn dynamic_count(&self) -> u32 {
         (u128::MAX ^ self.fixed_mask).count_ones() / 4
@@ -364,6 +390,18 @@ impl Range {
         let mut nybbles = [0u8; NYBBLE_COUNT];
         for (i, slot) in nybbles.iter_mut().enumerate() {
             *slot = self.sets[i].min_value().expect("range sets are non-empty");
+        }
+        NybbleAddr::from_nybbles(nybbles)
+    }
+
+    /// The largest address in the range. Every member lies numerically in
+    /// `[min_address(), max_address()]` (per-position nybbles are
+    /// independent), so any address outside that interval is outside the
+    /// range — the basis for sorted-neighbour distance bounds.
+    pub fn max_address(&self) -> NybbleAddr {
+        let mut nybbles = [0u8; NYBBLE_COUNT];
+        for (i, slot) in nybbles.iter_mut().enumerate() {
+            *slot = self.sets[i].max_value().expect("range sets are non-empty");
         }
         NybbleAddr::from_nybbles(nybbles)
     }

@@ -31,9 +31,19 @@ use std::time::Instant;
 pub struct ScalePoint {
     /// Seed-set size.
     pub seeds: usize,
+    /// The target budget the runs at this point were configured with.
+    /// Committed alongside the timings because budget scales with the
+    /// seed count above 100 K (`max(50 K, seeds·3/2)`): two points are
+    /// wall-comparable only per unit of configured work, and
+    /// `trajectory-check` re-measures a committed point at the
+    /// *committed* budget, never a recomputed one.
+    pub budget: u64,
     /// Median wall-clock runtime in milliseconds.
     pub wall_ms: f64,
-    /// Median CPU time in milliseconds.
+    /// Median CPU time in milliseconds. Note this only aggregates the
+    /// growth-evaluation (cache-fill) busy time — the other phases are
+    /// accounted in `phase_ns`, which is why `wall_ms` exceeds `cpu_ms`
+    /// even on a single thread.
     pub cpu_ms: f64,
     /// Median (across repeats) of the per-run p95 growth-evaluation
     /// latency in milliseconds, from `engine/growth_eval` measured with a
@@ -42,6 +52,32 @@ pub struct ScalePoint {
     pub growth_eval_p95_ms: f64,
     /// Targets generated (identical across repeats at fixed seed).
     pub targets: u64,
+    /// Rounds executed by the first repeat (`rng_seed = 0`) — fixed for a
+    /// given seed corpus and budget, so regressions in round count (e.g.
+    /// a subsumption bug) show up in review diffs.
+    pub rounds: u64,
+    /// Number of measured repeats the medians are taken over.
+    pub repeats: u64,
+    /// Median per-phase wall totals in nanoseconds, one per round-loop
+    /// phase: where the run actually spends its time. Closes the
+    /// `wall_ms` vs `cpu_ms` gap: select/commit/subsume time was
+    /// previously invisible in this document.
+    pub phase_ns: PhaseTotals,
+}
+
+/// Per-phase wall-clock totals (nanoseconds) for one scaling point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTotals {
+    /// `engine/cache_fill`: growth-cache refills (including the
+    /// initialization fill of every slot).
+    pub cache_fill: u64,
+    /// `engine/select`: best-growth selection, including tie-break draw
+    /// replay.
+    pub select: u64,
+    /// `engine/commit`: budget charging and target emission.
+    pub commit: u64,
+    /// `engine/subsume`: subsumed-cluster retirement.
+    pub subsume: u64,
 }
 
 /// A simple items-over-time throughput measurement.
@@ -82,18 +118,27 @@ impl Trajectory {
     /// stable key order.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"sixgen-bench-trajectory/v2\",\n");
+        out.push_str("{\n  \"schema\": \"sixgen-bench-trajectory/v3\",\n");
         out.push_str("  \"seed_scaling\": [\n");
         for (i, p) in self.seed_scaling.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{\"seeds\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
-                 \"growth_eval_p95_ms\": {:.6}, \"targets\": {}}}{}",
+                "    {{\"seeds\": {}, \"budget\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
+                 \"growth_eval_p95_ms\": {:.6}, \"targets\": {}, \"rounds\": {}, \
+                 \"repeats\": {}, \"phase_ns\": {{\"cache_fill\": {}, \"select\": {}, \
+                 \"commit\": {}, \"subsume\": {}}}}}{}",
                 p.seeds,
+                p.budget,
                 p.wall_ms,
                 p.cpu_ms,
                 p.growth_eval_p95_ms,
                 p.targets,
+                p.rounds,
+                p.repeats,
+                p.phase_ns.cache_fill,
+                p.phase_ns.select,
+                p.phase_ns.commit,
+                p.phase_ns.subsume,
                 if i + 1 < self.seed_scaling.len() { "," } else { "" }
             );
         }
@@ -137,20 +182,35 @@ fn median(mut values: Vec<f64>) -> f64 {
     values[values.len() / 2]
 }
 
-/// One measured scaling run: wall ms, cpu ms, growth-eval p95 ms, targets.
+/// The budget a scaling point of size `n` runs with, unless overridden by
+/// a committed value: the budget must exceed the seed count or the run
+/// exhausts at initialization without a single growth. Scaling by 1.5×
+/// kicks in only above the 30K point (every committed size up to 30K
+/// stays under the default 50K budget), so historical points up to 30K
+/// remain comparable.
+fn point_budget(n: usize, opts: &ExperimentOptions) -> u64 {
+    opts.budget.max(n as u64 * 3 / 2)
+}
+
+/// One measured scaling run.
+struct RunSample {
+    wall_ms: f64,
+    cpu_ms: f64,
+    p95_ms: f64,
+    targets: u64,
+    rounds: u64,
+    phase_ns: PhaseTotals,
+}
+
+/// Executes one scaling run of `n` seeds at the given budget.
 ///
-/// Each run gets its own fresh [`MetricsRegistry`] so the p95 reflects
-/// exactly this run (the shared `--metrics-out` registry accumulates
-/// across runs and sizes, which would smear the percentile).
-fn measure_run(n: usize, rep: u64, opts: &ExperimentOptions) -> (f64, f64, f64, u64) {
+/// Each run gets its own fresh [`MetricsRegistry`] so the p95 and phase
+/// totals reflect exactly this run (the shared `--metrics-out` registry
+/// accumulates across runs and sizes, which would smear them).
+fn measure_run(n: usize, rep: u64, budget: u64, opts: &ExperimentOptions) -> RunSample {
     let mut rng = StdRng::seed_from_u64(42 + rep);
     let seeds = synthetic_seeds(n, &mut rng);
     let registry = MetricsRegistry::shared();
-    // The budget must exceed the seed count or the run exhausts at
-    // initialization without a single growth. Scaling by 1.5× kicks in
-    // only at the 100K point (every committed size up to 30K stays under
-    // the default 50K budget), so historical points remain comparable.
-    let budget = opts.budget.max(n as u64 * 3 / 2);
     let outcome = SixGen::new(
         seeds,
         Config {
@@ -168,32 +228,43 @@ fn measure_run(n: usize, rep: u64, opts: &ExperimentOptions) -> (f64, f64, f64, 
         .percentile(0.95)
         .map(|ns| ns as f64 / 1e6)
         .unwrap_or(0.0);
-    (
-        outcome.stats.wall_time.as_secs_f64() * 1e3,
-        outcome.stats.cpu_time.as_secs_f64() * 1e3,
+    let phase = |name: &str| registry.phase(name).total().as_nanos() as u64;
+    RunSample {
+        wall_ms: outcome.stats.wall_time.as_secs_f64() * 1e3,
+        cpu_ms: outcome.stats.cpu_time.as_secs_f64() * 1e3,
         p95_ms,
-        outcome.targets.len() as u64,
-    )
+        targets: outcome.targets.len() as u64,
+        rounds: outcome.stats.rounds,
+        phase_ns: PhaseTotals {
+            cache_fill: phase("engine/cache_fill"),
+            select: phase("engine/select"),
+            commit: phase("engine/commit"),
+            subsume: phase("engine/subsume"),
+        },
+    }
 }
 
 fn measure_point(n: usize, repeats: u64, opts: &ExperimentOptions) -> ScalePoint {
-    let mut walls = Vec::new();
-    let mut cpus = Vec::new();
-    let mut p95s = Vec::new();
-    let mut targets = 0u64;
-    for rep in 0..repeats {
-        let (wall, cpu, p95, t) = measure_run(n, rep, opts);
-        walls.push(wall);
-        cpus.push(cpu);
-        p95s.push(p95);
-        targets = t;
-    }
+    let budget = point_budget(n, opts);
+    let samples: Vec<RunSample> = (0..repeats)
+        .map(|rep| measure_run(n, rep, budget, opts))
+        .collect();
+    let med = |f: fn(&RunSample) -> f64| median(samples.iter().map(f).collect());
     ScalePoint {
         seeds: n,
-        wall_ms: median(walls),
-        cpu_ms: median(cpus),
-        growth_eval_p95_ms: median(p95s),
-        targets,
+        budget,
+        wall_ms: med(|s| s.wall_ms),
+        cpu_ms: med(|s| s.cpu_ms),
+        growth_eval_p95_ms: med(|s| s.p95_ms),
+        targets: samples.last().expect("repeats >= 1").targets,
+        rounds: samples[0].rounds,
+        repeats,
+        phase_ns: PhaseTotals {
+            cache_fill: med(|s| s.phase_ns.cache_fill as f64) as u64,
+            select: med(|s| s.phase_ns.select as f64) as u64,
+            commit: med(|s| s.phase_ns.commit as f64) as u64,
+            subsume: med(|s| s.phase_ns.subsume as f64) as u64,
+        },
     }
 }
 
@@ -201,12 +272,20 @@ fn seed_scaling(opts: &ExperimentOptions) -> Vec<ScalePoint> {
     let sizes: &[usize] = if opts.quick {
         &[10, 100, 1_000]
     } else {
-        &[10, 100, 1_000, 5_000, 10_000, 30_000, 100_000]
+        &[
+            10, 100, 1_000, 5_000, 10_000, 30_000, 100_000, 300_000, 1_000_000,
+        ]
     };
-    let repeats = if opts.quick { 1 } else { 3 };
     sizes
         .iter()
-        .map(|&n| measure_point(n, repeats, opts))
+        .map(|&n| {
+            // Large points are single-shot: a 300K+ run takes long enough
+            // that three repeats would dominate the whole suite, and the
+            // medians they feed are already noise-bounded by the smaller
+            // gated points.
+            let repeats = if opts.quick || n >= 300_000 { 1 } else { 3 };
+            measure_point(n, repeats, opts)
+        })
         .collect()
 }
 
@@ -281,13 +360,13 @@ pub fn run_to(opts: &ExperimentOptions, path: &Path) {
     super::experiments::banner("Core trajectory: seed scaling, charge and tree throughput");
     let trajectory = collect(opts);
     println!(
-        "{:>8}  {:>12}  {:>12}  {:>14}  {:>10}",
-        "seeds", "wall (ms)", "cpu (ms)", "eval p95 (ms)", "targets"
+        "{:>8}  {:>8}  {:>12}  {:>12}  {:>14}  {:>10}  {:>8}",
+        "seeds", "budget", "wall (ms)", "cpu (ms)", "eval p95 (ms)", "targets", "rounds"
     );
     for p in &trajectory.seed_scaling {
         println!(
-            "{:>8}  {:>12.2}  {:>12.2}  {:>14.4}  {:>10}",
-            p.seeds, p.wall_ms, p.cpu_ms, p.growth_eval_p95_ms, p.targets
+            "{:>8}  {:>8}  {:>12.2}  {:>12.2}  {:>14.4}  {:>10}  {:>8}",
+            p.seeds, p.budget, p.wall_ms, p.cpu_ms, p.growth_eval_p95_ms, p.targets, p.rounds
         );
     }
     println!(
@@ -320,13 +399,34 @@ fn extract_point_field(json: &str, seeds: usize, field: &str) -> Option<f64> {
 /// `trajectory-check` fails.
 const P95_REGRESSION_HEADROOM: f64 = 0.25;
 
+/// Fractional headroom allowed over the committed 300 K wall time. Far
+/// looser than the p95 gate: absolute wall times swing with machine load,
+/// and this gate exists to catch a complexity-class regression (the
+/// round loop sliding back toward per-round full scans roughly doubles
+/// the 300 K wall), not microperf drift.
+const WALL_300K_REGRESSION_HEADROOM: f64 = 1.0;
+
+/// Re-measures a committed scaling point at its *committed* budget, so
+/// the comparison is like-for-like even if the current budget formula
+/// disagrees with the one the document was generated under.
+fn fresh_sample_for(json: &str, n: usize, opts: &ExperimentOptions) -> RunSample {
+    let budget = extract_point_field(json, n, "budget")
+        .map(|b| b as u64)
+        .unwrap_or_else(|| point_budget(n, opts));
+    measure_run(n, 0, budget, opts)
+}
+
 /// `repro trajectory-check` — the CI guard over the committed trajectory.
 ///
 /// Asserts that the committed `BENCH_core.json` (1) carries the current
-/// schema tag, (2) contains the 100 K-seed scaling point, and (3) has not
-/// been outrun: a fresh 30 K-seed measurement's `engine/growth_eval` p95
-/// must not exceed the committed point's by more than 25 %. Returns `true`
-/// when all checks pass; the caller turns `false` into a non-zero exit.
+/// schema tag, (2) contains the 100 K-seed scaling point, (3) has not
+/// been outrun at 30 K: a fresh measurement's `engine/growth_eval` p95 —
+/// taken at the point's committed budget — must not exceed the committed
+/// value by more than 25 %, and (4) when a 300 K point is committed, the
+/// round loop's scaling holds: a fresh 300 K run (committed budget) must
+/// stay within the p95 headroom *and* within 2× of the committed wall
+/// time. Returns `true` when all checks pass; the caller turns `false`
+/// into a non-zero exit.
 pub fn check(opts: &ExperimentOptions, path: &Path) -> bool {
     super::experiments::banner("Trajectory check: committed BENCH_core.json vs fresh measurement");
     let json = match std::fs::read_to_string(path) {
@@ -337,8 +437,8 @@ pub fn check(opts: &ExperimentOptions, path: &Path) -> bool {
         }
     };
     let mut ok = true;
-    if !json.contains("\"schema\": \"sixgen-bench-trajectory/v2\"") {
-        eprintln!("trajectory-check: FAIL: schema tag is not sixgen-bench-trajectory/v2");
+    if !json.contains("\"schema\": \"sixgen-bench-trajectory/v3\"") {
+        eprintln!("trajectory-check: FAIL: schema tag is not sixgen-bench-trajectory/v3");
         ok = false;
     }
     if extract_point_field(&json, 100_000, "wall_ms").is_none() {
@@ -349,19 +449,54 @@ pub fn check(opts: &ExperimentOptions, path: &Path) -> bool {
         eprintln!("trajectory-check: FAIL: no 30000-seed growth_eval_p95_ms committed");
         return false;
     };
-    let (wall, _cpu, fresh_p95, _targets) = measure_run(30_000, 0, opts);
+    let fresh = fresh_sample_for(&json, 30_000, opts);
     let limit = committed_p95 * (1.0 + P95_REGRESSION_HEADROOM);
     println!(
-        "30000 seeds: fresh growth_eval p95 {fresh_p95:.4} ms vs committed {committed_p95:.4} ms \
-         (limit {limit:.4} ms, wall {wall:.1} ms)"
+        "30000 seeds: fresh growth_eval p95 {:.4} ms vs committed {committed_p95:.4} ms \
+         (limit {limit:.4} ms, wall {:.1} ms)",
+        fresh.p95_ms, fresh.wall_ms
     );
-    if fresh_p95 > limit {
+    if fresh.p95_ms > limit {
         eprintln!(
             "trajectory-check: FAIL: growth_eval p95 regressed more than {:.0}% \
-             ({fresh_p95:.4} ms > {limit:.4} ms)",
-            P95_REGRESSION_HEADROOM * 100.0
+             ({:.4} ms > {limit:.4} ms)",
+            P95_REGRESSION_HEADROOM * 100.0,
+            fresh.p95_ms
         );
         ok = false;
+    }
+    // 300 K scaling gate, active once the document carries the point.
+    if let (Some(committed_p95), Some(committed_wall)) = (
+        extract_point_field(&json, 300_000, "growth_eval_p95_ms"),
+        extract_point_field(&json, 300_000, "wall_ms"),
+    ) {
+        let fresh = fresh_sample_for(&json, 300_000, opts);
+        let p95_limit = committed_p95 * (1.0 + P95_REGRESSION_HEADROOM);
+        let wall_limit = committed_wall * (1.0 + WALL_300K_REGRESSION_HEADROOM);
+        println!(
+            "300000 seeds: fresh growth_eval p95 {:.4} ms vs committed {committed_p95:.4} ms \
+             (limit {p95_limit:.4} ms), wall {:.1} ms vs committed {committed_wall:.1} ms \
+             (limit {wall_limit:.1} ms)",
+            fresh.p95_ms, fresh.wall_ms
+        );
+        if fresh.p95_ms > p95_limit {
+            eprintln!(
+                "trajectory-check: FAIL: 300K growth_eval p95 regressed more than {:.0}% \
+                 ({:.4} ms > {p95_limit:.4} ms)",
+                P95_REGRESSION_HEADROOM * 100.0,
+                fresh.p95_ms
+            );
+            ok = false;
+        }
+        if fresh.wall_ms > wall_limit {
+            eprintln!(
+                "trajectory-check: FAIL: 300K wall regressed more than {:.0}% \
+                 ({:.1} ms > {wall_limit:.1} ms) — round-loop scaling broke",
+                WALL_300K_REGRESSION_HEADROOM * 100.0,
+                fresh.wall_ms
+            );
+            ok = false;
+        }
     }
     if ok {
         println!("trajectory-check: OK");
@@ -388,12 +523,19 @@ mod tests {
         );
         assert!(t.seed_scaling.iter().all(|p| p.targets > 0));
         assert!(t.seed_scaling.iter().all(|p| p.growth_eval_p95_ms >= 0.0));
+        assert!(t.seed_scaling.iter().all(|p| p.budget >= p.seeds as u64));
+        assert!(t.seed_scaling.iter().all(|p| p.rounds > 0));
+        assert!(t.seed_scaling.iter().all(|p| p.repeats == 1));
+        // Every run spends time filling growth caches; the phase totals
+        // must reflect that rather than read zero.
+        assert!(t.seed_scaling.iter().all(|p| p.phase_ns.cache_fill > 0));
         assert!(t.budget_charge.items > 0 && t.budget_charge.per_sec > 0.0);
         assert!(t.tree_query.items == 1_000 && t.tree_query.per_sec > 0.0);
         let json = t.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"sixgen-bench-trajectory/v2\""));
+        assert!(json.starts_with("{\n  \"schema\": \"sixgen-bench-trajectory/v3\""));
         assert!(json.contains("\"seed_scaling\""));
         assert!(json.contains("\"growth_eval_p95_ms\""));
+        assert!(json.contains("\"phase_ns\""));
         assert!(json.contains("\"budget_charge\""));
         assert!(json.contains("\"tree_query\""));
         assert!(json.ends_with("}\n"));
@@ -403,6 +545,18 @@ mod tests {
             extract_point_field(&json, p.seeds, "targets"),
             Some(p.targets as f64)
         );
+        assert_eq!(
+            extract_point_field(&json, p.seeds, "budget"),
+            Some(p.budget as f64)
+        );
+        assert_eq!(
+            extract_point_field(&json, p.seeds, "rounds"),
+            Some(p.rounds as f64)
+        );
+        assert_eq!(
+            extract_point_field(&json, p.seeds, "select"),
+            Some(p.phase_ns.select as f64)
+        );
         let wall = extract_point_field(&json, p.seeds, "wall_ms").unwrap();
         assert!((wall - p.wall_ms).abs() < 0.001);
         assert_eq!(extract_point_field(&json, 999, "wall_ms"), None);
@@ -411,16 +565,26 @@ mod tests {
 
     #[test]
     fn extract_point_field_parses_committed_layout() {
-        let json = "{\n  \"schema\": \"sixgen-bench-trajectory/v2\",\n  \"seed_scaling\": [\n    \
-                    {\"seeds\": 30000, \"wall_ms\": 6077.133, \"cpu_ms\": 6021.0, \
-                    \"growth_eval_p95_ms\": 0.123456, \"targets\": 50000},\n    \
-                    {\"seeds\": 100000, \"wall_ms\": 20000.5, \"cpu_ms\": 19000.0, \
-                    \"growth_eval_p95_ms\": 0.2, \"targets\": 50000}\n  ]\n}\n";
+        let json = "{\n  \"schema\": \"sixgen-bench-trajectory/v3\",\n  \"seed_scaling\": [\n    \
+                    {\"seeds\": 30000, \"budget\": 50000, \"wall_ms\": 6077.133, \
+                    \"cpu_ms\": 6021.0, \"growth_eval_p95_ms\": 0.123456, \"targets\": 50000, \
+                    \"rounds\": 3574, \"repeats\": 3, \"phase_ns\": {\"cache_fill\": 600000000, \
+                    \"select\": 60000000, \"commit\": 30000000, \"subsume\": 70000000}},\n    \
+                    {\"seeds\": 100000, \"budget\": 150000, \"wall_ms\": 20000.5, \
+                    \"cpu_ms\": 19000.0, \"growth_eval_p95_ms\": 0.2, \"targets\": 150000, \
+                    \"rounds\": 12470, \"repeats\": 3, \"phase_ns\": {\"cache_fill\": 3400000000, \
+                    \"select\": 650000000, \"commit\": 130000000, \"subsume\": 300000000}}\n  ]\n}\n";
         assert_eq!(
             extract_point_field(json, 30_000, "growth_eval_p95_ms"),
             Some(0.123456)
         );
         assert_eq!(extract_point_field(json, 100_000, "wall_ms"), Some(20000.5));
+        assert_eq!(extract_point_field(json, 30_000, "budget"), Some(50000.0));
+        assert_eq!(extract_point_field(json, 100_000, "rounds"), Some(12470.0));
+        assert_eq!(
+            extract_point_field(json, 30_000, "cache_fill"),
+            Some(600000000.0)
+        );
         assert_eq!(extract_point_field(json, 10_000, "wall_ms"), None);
     }
 }

@@ -155,6 +155,18 @@ pub enum CheckpointError {
     /// Bytes remain after the checksum — the file is longer than the
     /// structure it claims to hold.
     TrailingBytes,
+    /// A stale-cache index points past the end of the slot list.
+    StaleIndexOutOfBounds {
+        /// The offending index.
+        index: u64,
+        /// Number of slots in the checkpoint.
+        slots: u64,
+    },
+    /// A slot index appears more than once in the stale-cache list.
+    DuplicateStaleIndex {
+        /// The repeated index.
+        index: u64,
+    },
     /// A structural invariant failed (named by the message).
     Invalid(&'static str),
 }
@@ -172,6 +184,15 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
             CheckpointError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+            CheckpointError::StaleIndexOutOfBounds { index, slots } => {
+                write!(
+                    f,
+                    "invalid checkpoint: stale index {index} out of bounds for {slots} slots"
+                )
+            }
+            CheckpointError::DuplicateStaleIndex { index } => {
+                write!(f, "invalid checkpoint: duplicate stale index {index}")
+            }
             CheckpointError::Invalid(what) => write!(f, "invalid checkpoint: {what}"),
         }
     }
@@ -451,13 +472,16 @@ impl EngineCheckpoint {
     /// relies on these holding.
     pub(crate) fn validate(&self) -> Result<(), CheckpointError> {
         let mut named_stale = vec![false; self.slots.len()];
-        for &index in &self.stale {
-            let index = usize::try_from(index)
+        for &raw_index in &self.stale {
+            let index = usize::try_from(raw_index)
                 .ok()
                 .filter(|&i| i < self.slots.len())
-                .ok_or(CheckpointError::Invalid("stale index out of bounds"))?;
+                .ok_or(CheckpointError::StaleIndexOutOfBounds {
+                    index: raw_index,
+                    slots: self.slots.len() as u64,
+                })?;
             if named_stale[index] {
-                return Err(CheckpointError::Invalid("duplicate stale index"));
+                return Err(CheckpointError::DuplicateStaleIndex { index: raw_index });
             }
             if self.slots[index].cached != CachedCheckpoint::Stale {
                 return Err(CheckpointError::Invalid(
@@ -711,10 +735,37 @@ mod tests {
         let mut bad = sample();
         bad.stale = vec![];
         assert!(EngineCheckpoint::from_bytes(&bad.to_bytes()).is_err());
-        // Out-of-bounds stale index.
+        // Out-of-bounds stale index: typed, carrying the offending index.
         let mut bad = sample();
         bad.stale = vec![99];
-        assert!(EngineCheckpoint::from_bytes(&bad.to_bytes()).is_err());
+        let err = EngineCheckpoint::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::StaleIndexOutOfBounds {
+                index: 99,
+                slots: bad.slots.len() as u64
+            },
+            "{err:?}"
+        );
+        // An index that does not fit usize is out of bounds, not a cast
+        // wraparound.
+        let mut bad = sample();
+        bad.stale = vec![u64::MAX];
+        let err = EngineCheckpoint::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::StaleIndexOutOfBounds { index, .. } if index == u64::MAX),
+            "{err:?}"
+        );
+        // Duplicate stale index: typed, carrying the repeated index.
+        let mut bad = sample();
+        let stale_slot = bad.stale[0];
+        bad.stale.push(stale_slot);
+        let err = EngineCheckpoint::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::DuplicateStaleIndex { index: stale_slot },
+            "{err:?}"
+        );
         // Generated set over budget.
         let mut bad = sample();
         bad.budget = 2;

@@ -117,10 +117,34 @@ pub fn evaluate_growth(
     cluster: &Cluster,
     tree: &NybbleTree,
     mode: ClusterMode,
+    tie_break: impl FnMut() -> u64,
+) -> GrowthEvaluation {
+    evaluate_growth_bounded(
+        cluster,
+        tree,
+        mode,
+        (sixgen_addr::NYBBLE_COUNT + 1) as u32,
+        tie_break,
+    )
+}
+
+/// [`evaluate_growth`] seeded with an achievable upper bound on the
+/// candidate distance (see [`NybbleTree::growth_candidates_bounded`]). The
+/// bound only prunes subtrees that cannot contain minimum-distance
+/// candidates, so the evaluation — including the tie-break draw stream —
+/// is byte-identical for every valid bound; the engine derives one from
+/// the sorted seed list's numeric neighbours of the cluster range.
+pub fn evaluate_growth_bounded(
+    cluster: &Cluster,
+    tree: &NybbleTree,
+    mode: ClusterMode,
+    distance_bound: u32,
     mut tie_break: impl FnMut() -> u64,
 ) -> GrowthEvaluation {
     let group_by_values = matches!(mode, ClusterMode::Tight);
-    let Some(cands) = tree.growth_candidates(&cluster.range, group_by_values) else {
+    let Some(cands) =
+        tree.growth_candidates_bounded(&cluster.range, group_by_values, distance_bound)
+    else {
         return GrowthEvaluation {
             growth: None,
             candidates: 0,

@@ -28,14 +28,21 @@
 /// Panics if `bound` is zero.
 pub fn bounded_draw(mut next_word: impl FnMut() -> u64, bound: u64) -> u64 {
     assert!(bound > 0, "bounded_draw requires a nonzero bound");
-    // 2^64 mod bound, computed without 128-bit arithmetic: the low product
-    // bits must reach this threshold for the draw to be exactly uniform.
-    let threshold = bound.wrapping_neg() % bound;
     let mut last = 0;
     for _ in 0..64 {
         let m = u128::from(next_word()) * u128::from(bound);
         last = (m >> 64) as u64;
-        if (m as u64) >= threshold {
+        let lo = m as u64;
+        // The rejection threshold is `2^64 mod bound`, which is strictly
+        // below `bound` — so `lo >= bound` accepts without computing the
+        // modulo at all. The division only runs when `lo < bound`
+        // (probability `bound / 2^64`), which matters because the engine's
+        // selection tie-break performs tens of millions of draws per run
+        // and the per-draw `u64 %` used to dominate the phase. The
+        // accepted/rejected decision (and therefore the word stream and
+        // returned values) is bit-identical to always computing the
+        // threshold.
+        if lo >= bound || lo >= bound.wrapping_neg() % bound {
             return last;
         }
     }

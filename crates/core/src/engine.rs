@@ -3,14 +3,16 @@
 
 use crate::budget::{BudgetTracker, Charge};
 use crate::checkpoint::{CachedCheckpoint, CheckpointError, EngineCheckpoint, SlotCheckpoint};
-use crate::cluster::{evaluate_growth, evaluate_growth_unfused, Cluster, Growth};
+use crate::cluster::{evaluate_growth_bounded, evaluate_growth_unfused, Cluster, Growth};
 use crate::draw::bounded_draw;
 use crate::outcome::{ClusterInfo, Outcome, RunStats, TargetSet, Termination};
+use crate::select::{SelectKey, SelectTree};
 use crate::Config;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sixgen_addr::{NybbleAddr, NybbleTree, PackedMasks};
+use sixgen_addr::{NybbleAddr, NybbleTree, PackedMasks, Range};
 use sixgen_obs::{maybe_span, Counter, Histogram, MetricsRegistry, PhaseTimer, SpanId, TraceSink};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,24 +38,7 @@ struct Slot {
     cached: Cached,
 }
 
-/// Compact per-slot copy of the cached growth's selection inputs (seed
-/// count and range size), kept in an array parallel to the slots.
-///
-/// The per-round selection scan visits every slot; reading the full
-/// `Slot` (cluster range + cached growth range, hundreds of bytes) per
-/// visit makes that scan memory-bound. The key array packs what the scan
-/// actually compares into 32 bytes per slot. `size == 0` marks a slot
-/// with no selectable growth (stale or exhausted) — real ranges always
-/// have size ≥ 1.
-#[derive(Debug, Clone, Copy)]
-struct SelectKey {
-    count: u64,
-    size: u128,
-}
-
 impl SelectKey {
-    const NONE: SelectKey = SelectKey { count: 0, size: 0 };
-
     fn of(cached: &Cached) -> SelectKey {
         match cached {
             Cached::Ready(growth) => SelectKey {
@@ -63,18 +48,91 @@ impl SelectKey {
             Cached::Stale | Cached::Exhausted => SelectKey::NONE,
         }
     }
+}
 
-    fn is_ready(&self) -> bool {
-        self.size != 0
+/// Round-loop acceleration structures for the default execution mode.
+///
+/// The reference round loop (kept behind [`Config::scan_round`]) pays
+/// O(clusters) per round twice: a full scan of the key array to select
+/// the best growth, and a full swap-compaction pass to delete subsumed
+/// clusters. Both scans are replaced here by structures maintained
+/// incrementally at the O(1)-per-round mutation points (one commit, a
+/// handful of subsumptions), so a round costs O(affected + log N):
+///
+/// * **selection** — a tournament tree over the keys ([`SelectTree`])
+///   that replays the scan's tie-break draw stream exactly;
+/// * **subsumption** — a min-address index: `C ⊆ R` forces
+///   `min(C) ∈ R` (per position, the minimum of a subset is a member of
+///   the superset's nybble set), so the live clusters whose minimum
+///   address lies inside the newly grown range — enumerated from an
+///   uncompressed [`NybbleTree`] over the distinct minima — are a
+///   complete candidate set, each then verified with the same exact
+///   [`PackedMasks::is_subset`] test the scan uses. No RNG is involved,
+///   so a false candidate costs four words and changes nothing.
+///
+/// Instead of compacting the slot arrays, subsumed slots are
+/// **tombstoned in place** (`live[i] = false`, key set to
+/// [`SelectKey::NONE`] so the tree never selects them). Because the
+/// scan mode's swap-compaction is stable, the live slots appear in the
+/// same relative order in both modes — which makes the scan order of
+/// ready keys, and therefore the whole RNG draw stream, identical.
+/// [`Session::checkpoint`] live-compacts, so checkpoints are
+/// byte-identical across modes too.
+#[derive(Debug)]
+struct IncrementalState {
+    /// Liveness flags, parallel to `slots`. Slot counts never grow after
+    /// initialization (a commit replaces in place, subsumption only
+    /// kills), so all parallel structures are sized once.
+    live: Vec<bool>,
+    live_count: usize,
+    /// Tournament tree over the key array.
+    select: SelectTree,
+    /// Distinct minimum addresses of live clusters (set semantics: an
+    /// address stays while any live cluster has it as its minimum).
+    min_tree: NybbleTree,
+    /// Live slot indices per distinct minimum address. Loose-mode ranges
+    /// zero their wildcard nybbles in the minimum, so distinct clusters
+    /// can share one minimum address.
+    slots_by_min: HashMap<u128, Vec<u32>>,
+}
+
+impl IncrementalState {
+    fn build(slots: &[Slot], keys: &[SelectKey]) -> IncrementalState {
+        let mut state = IncrementalState {
+            live: vec![true; slots.len()],
+            live_count: slots.len(),
+            select: SelectTree::from_keys(keys),
+            min_tree: NybbleTree::new(),
+            slots_by_min: HashMap::with_capacity(slots.len()),
+        };
+        for (i, slot) in slots.iter().enumerate() {
+            state.add_min(slot.cluster.range.min_address(), i);
+        }
+        state
     }
 
-    /// Must order exactly like [`Growth::preference`] on the source
-    /// growths: the selection scan's comparison results — including which
-    /// comparisons come out `Equal` and therefore draw from the shared
-    /// run RNG — decide the whole downstream target stream.
-    fn preference(&self, other: &SelectKey) -> core::cmp::Ordering {
-        sixgen_addr::compare_density(self.count, self.size, other.count, other.size)
-            .then_with(|| other.size.cmp(&self.size))
+    fn add_min(&mut self, min: NybbleAddr, slot: usize) {
+        let entries = self.slots_by_min.entry(min.bits()).or_default();
+        if entries.is_empty() {
+            self.min_tree.insert(min);
+        }
+        entries.push(slot as u32);
+    }
+
+    fn remove_min(&mut self, min: NybbleAddr, slot: usize) {
+        let entries = self
+            .slots_by_min
+            .get_mut(&min.bits())
+            .expect("min-address index entry missing for a live cluster");
+        let pos = entries
+            .iter()
+            .position(|&s| s == slot as u32)
+            .expect("slot missing from its min-address index entry");
+        entries.swap_remove(pos);
+        if entries.is_empty() {
+            self.slots_by_min.remove(&min.bits());
+            self.min_tree.remove(min);
+        }
     }
 }
 
@@ -154,6 +212,14 @@ pub struct SixGen {
     config: Config,
 }
 
+/// Bin threshold for [`NybbleTree::compress_bins`] on the seed tree.
+/// Subtrees of at most this many seeds collapse into flat leaf bins,
+/// taming the branch-and-bound enumeration cost over sparse regions
+/// (isolated noisy seeds) that otherwise dominates cache refills on
+/// large corpora. Pure query-plan tuning: results are byte-identical
+/// for any value.
+const SEED_TREE_BIN: usize = 128;
+
 impl SixGen {
     /// Prepares a run. Duplicate seeds are removed; seed order does not
     /// affect the result.
@@ -161,7 +227,10 @@ impl SixGen {
         let mut seeds: Vec<NybbleAddr> = seeds.into_iter().collect();
         seeds.sort_unstable();
         seeds.dedup();
-        let tree = NybbleTree::from_addresses(seeds.iter().copied());
+        let mut tree = NybbleTree::from_addresses(seeds.iter().copied());
+        // The seed tree is immutable for the whole run, so sparse
+        // subtrees can be collapsed into leaf bins up front.
+        tree.compress_bins(SEED_TREE_BIN);
         SixGen {
             seeds,
             tree,
@@ -345,6 +414,43 @@ impl SixGen {
         cpu
     }
 
+    /// An achievable upper bound on the distance from `range` to its
+    /// nearest outside seed, from the sorted seed list's numeric
+    /// neighbours: every range member lies numerically within
+    /// `[min_address, max_address]`, so seeds below the interval's start or
+    /// above its end are guaranteed outside the range and their distances
+    /// are valid bounds. Checking a few neighbours on each side tightens
+    /// the branch-and-bound start enough to collapse the candidate
+    /// search's exploration phase; the bound is pruning-only, so results
+    /// (and tie-break draws) are byte-identical to the unbounded search.
+    fn distance_hint(&self, range: &Range) -> u32 {
+        // Neighbours examined per side: distance probes are O(1), so a few
+        // extra probes are free compared to even one saved tree descent.
+        const PROBES: usize = 8;
+        // Evenly-spaced samples from the seeds numerically *inside* the
+        // range's [min, max] interval. Wide (grown) ranges cover many
+        // seeds that are not members; any such seed also yields an
+        // achievable bound, usually far tighter than the interval's edge
+        // neighbours.
+        const INTERIOR_PROBES: usize = 16;
+        let mut bound = (sixgen_addr::NYBBLE_COUNT + 1) as u32;
+        let lo = self.seeds.partition_point(|&s| s < range.min_address());
+        for &seed in &self.seeds[lo.saturating_sub(PROBES)..lo] {
+            bound = bound.min(range.distance(seed));
+        }
+        let hi = self.seeds.partition_point(|&s| s <= range.max_address());
+        for &seed in &self.seeds[hi..(hi + PROBES).min(self.seeds.len())] {
+            bound = bound.min(range.distance(seed));
+        }
+        let step = ((hi - lo) / INTERIOR_PROBES).max(1);
+        for &seed in self.seeds[lo..hi].iter().step_by(step) {
+            if !range.contains(seed) {
+                bound = bound.min(range.distance(seed));
+            }
+        }
+        bound
+    }
+
     /// Computes one cluster's best growth with a deterministic per-cluster
     /// tie-break stream derived from the run seed and the cluster's range.
     ///
@@ -386,7 +492,13 @@ impl SixGen {
         let eval = if self.config.unfused_growth {
             evaluate_growth_unfused(cluster, &self.tree, self.config.mode, tie_break)
         } else {
-            evaluate_growth(cluster, &self.tree, self.config.mode, tie_break)
+            evaluate_growth_bounded(
+                cluster,
+                &self.tree,
+                self.config.mode,
+                self.distance_hint(&cluster.range),
+                tie_break,
+            )
         };
         span.attr("candidates", eval.candidates);
         span.attr("ranges_evaluated", eval.ranges_evaluated);
@@ -510,6 +622,10 @@ pub struct Session {
     /// initialization that is everyone; after each commit, only the
     /// grown cluster.
     stale_indices: Vec<usize>,
+    /// Incremental select/subsume structures (`None` when
+    /// [`Config::scan_round`] requests the reference full-scan round
+    /// loop). See [`IncrementalState`] for the equivalence argument.
+    incremental: Option<IncrementalState>,
     rng: StdRng,
     budget: BudgetTracker,
     rounds: u64,
@@ -572,6 +688,8 @@ impl Session {
         let stale_indices: Vec<usize> = (0..slots.len()).collect();
         let keys = vec![SelectKey::NONE; slots.len()];
         let packed = slots.iter().map(|s| s.cluster.range.packed_masks()).collect();
+        let incremental =
+            (!engine.config.scan_round).then(|| IncrementalState::build(&slots, &keys));
         Session {
             rng: StdRng::seed_from_u64(engine.config.rng_seed),
             engine,
@@ -579,6 +697,7 @@ impl Session {
             keys,
             packed,
             stale_indices,
+            incremental,
             budget,
             rounds: 0,
             growths: 0,
@@ -620,6 +739,12 @@ impl Session {
         // them so hand-constructed checkpoints get the same scrutiny.
         checkpoint.validate().map_err(|e| match e {
             CheckpointError::Invalid(what) => ResumeError::Corrupt(what),
+            CheckpointError::StaleIndexOutOfBounds { .. } => {
+                ResumeError::Corrupt("stale index out of bounds")
+            }
+            CheckpointError::DuplicateStaleIndex { .. } => {
+                ResumeError::Corrupt("duplicate stale index")
+            }
             _ => ResumeError::Corrupt("structural validation failed"),
         })?;
         let used = checkpoint.generated.len() as u64;
@@ -671,16 +796,29 @@ impl Session {
             .collect();
         // Keys and packed masks are caches over the slots; at a round
         // boundary both are exactly what `SelectKey::of` / `packed_masks`
-        // derive, so they are rebuilt rather than serialized.
-        let keys = slots.iter().map(|s| SelectKey::of(&s.cached)).collect();
+        // derive, so they are rebuilt rather than serialized. The same
+        // goes for the incremental structures: a checkpoint holds only
+        // live, compacted slots, so rebuilding them deterministically is
+        // a pure function of the slot list — and the checkpoint never
+        // records which execution mode produced it.
+        let keys: Vec<SelectKey> = slots.iter().map(|s| SelectKey::of(&s.cached)).collect();
         let packed = slots.iter().map(|s| s.cluster.range.packed_masks()).collect();
+        let incremental =
+            (!engine.config.scan_round).then(|| IncrementalState::build(&slots, &keys));
+        let stale_indices = checkpoint
+            .stale
+            .iter()
+            .map(|&i| usize::try_from(i))
+            .collect::<Result<Vec<usize>, _>>()
+            .map_err(|_| ResumeError::Corrupt("stale index out of bounds"))?;
         Ok(Session {
             rng: StdRng::from_state(checkpoint.rng_state),
             engine,
             slots,
             keys,
             packed,
-            stale_indices: checkpoint.stale.iter().map(|&i| i as usize).collect(),
+            stale_indices,
+            incremental,
             budget,
             rounds: checkpoint.rounds,
             growths: checkpoint.growths,
@@ -708,6 +846,32 @@ impl Session {
     /// round boundaries of in-progress runs (as
     /// [`run_with`](Session::run_with) hooks naturally do).
     pub fn checkpoint(&self) -> EngineCheckpoint {
+        // Incremental mode tombstones subsumed slots in place; the
+        // checkpoint live-compacts them away and remaps stale indices to
+        // live *ranks* (live slots strictly before the index), so the
+        // snapshot is byte-identical to scan mode's eagerly-compacted
+        // one. That identity is what keeps the execution mode out of the
+        // resume fingerprint: a checkpoint taken in either mode resumes
+        // in either mode.
+        let live = |i: usize| self.incremental.as_ref().is_none_or(|inc| inc.live[i]);
+        let stale: Vec<u64> = match &self.incremental {
+            None => self.stale_indices.iter().map(|&i| i as u64).collect(),
+            Some(inc) => {
+                let mut rank = vec![0u64; self.slots.len()];
+                let mut live_before = 0u64;
+                for (i, r) in rank.iter_mut().enumerate() {
+                    *r = live_before;
+                    live_before += u64::from(inc.live[i]);
+                }
+                self.stale_indices
+                    .iter()
+                    .map(|&i| {
+                        debug_assert!(inc.live[i], "a dead slot can never be stale");
+                        rank[i]
+                    })
+                    .collect()
+            }
+        };
         EngineCheckpoint {
             mode: self.engine.config.mode,
             unfused_growth: self.engine.config.unfused_growth,
@@ -724,7 +888,9 @@ impl Session {
             slots: self
                 .slots
                 .iter()
-                .map(|s| SlotCheckpoint {
+                .enumerate()
+                .filter(|&(i, _)| live(i))
+                .map(|(_, s)| SlotCheckpoint {
                     range: s.cluster.range.clone(),
                     seed_count: s.cluster.seed_count,
                     cached: match &s.cached {
@@ -738,7 +904,7 @@ impl Session {
                     },
                 })
                 .collect(),
-            stale: self.stale_indices.iter().map(|&i| i as u64).collect(),
+            stale,
             generated: self.budget.generated_in_order().to_vec(),
         }
     }
@@ -774,7 +940,15 @@ impl Session {
             for &i in &stale_now {
                 self.keys[i] = SelectKey::of(&self.slots[i].cached);
             }
-            span.attr("clusters", self.slots.len() as u64);
+            // Event-driven refill propagation: the freshly computed keys
+            // are pushed into the select tree here, at the only point
+            // they change, instead of rebuilding anything per round.
+            if let Some(inc) = &mut self.incremental {
+                for &i in &stale_now {
+                    inc.select.set(i, self.keys[i]);
+                }
+            }
+            span.attr("clusters", self.live_cluster_count() as u64);
         }
         if let Some(m) = &self.metrics {
             m.cache_fill.record(phase_started.elapsed());
@@ -801,43 +975,51 @@ impl Session {
         // (reservoir over scan order keeps this deterministic).
         let phase_started = Instant::now();
         let mut select_span = maybe_span(trace, "engine", "select", self.root);
-        select_span.attr("clusters", self.slots.len() as u64);
-        // The scan runs over the compact key array, not the slots; the
-        // comparison and tie-break logic (and therefore the RNG draw
-        // sequence) are identical to comparing the cached growths
-        // directly, pinned by SelectKey::preference's contract.
-        let keys = &self.keys;
+        select_span.attr("clusters", self.live_cluster_count() as u64);
         let rng = &mut self.rng;
-        let mut best_index: Option<usize> = None;
-        let mut best_key = SelectKey::NONE;
-        let mut ties: u64 = 0;
-        for (i, key) in keys.iter().enumerate() {
-            if !key.is_ready() {
-                continue;
-            }
-            match best_index {
-                None => {
-                    best_index = Some(i);
-                    best_key = *key;
-                    ties = 1;
-                }
-                Some(_) => match key.preference(&best_key) {
-                    core::cmp::Ordering::Greater => {
-                        best_index = Some(i);
-                        best_key = *key;
-                        ties = 1;
+        let best_index: Option<usize> = match &self.incremental {
+            // Tournament-tree selection: same winner, same tie-break
+            // draw stream as the scan below, in O(eras · log N + draws)
+            // instead of O(clusters + draws). See `SelectTree::select`.
+            Some(inc) => inc.select.select(|| rng.gen::<u64>()),
+            // Reference scan over the compact key array; the comparison
+            // and tie-break logic (and therefore the RNG draw sequence)
+            // are identical to comparing the cached growths directly,
+            // pinned by SelectKey::preference's contract.
+            None => {
+                let mut best_index: Option<usize> = None;
+                let mut best_key = SelectKey::NONE;
+                let mut ties: u64 = 0;
+                for (i, key) in self.keys.iter().enumerate() {
+                    if !key.is_ready() {
+                        continue;
                     }
-                    core::cmp::Ordering::Equal => {
-                        ties += 1;
-                        if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
+                    match best_index {
+                        None => {
                             best_index = Some(i);
                             best_key = *key;
+                            ties = 1;
                         }
+                        Some(_) => match key.preference(&best_key) {
+                            core::cmp::Ordering::Greater => {
+                                best_index = Some(i);
+                                best_key = *key;
+                                ties = 1;
+                            }
+                            core::cmp::Ordering::Equal => {
+                                ties += 1;
+                                if bounded_draw(|| rng.gen::<u64>(), ties) == 0 {
+                                    best_index = Some(i);
+                                    best_key = *key;
+                                }
+                            }
+                            core::cmp::Ordering::Less => {}
+                        },
                     }
-                    core::cmp::Ordering::Less => {}
-                },
+                }
+                best_index
             }
-        }
+        };
         drop(select_span);
         if let Some(m) = &self.metrics {
             m.select.record(phase_started.elapsed());
@@ -879,6 +1061,7 @@ impl Session {
         let charge = self.budget.charge(&growth.range, &mut self.rng);
         debug_assert!(matches!(charge, Charge::Committed { .. }));
         self.growths += 1;
+        let old_min = self.slots[grown_index].cluster.range.min_address();
         self.slots[grown_index] = Slot {
             cluster: Cluster {
                 range: growth.range,
@@ -889,42 +1072,105 @@ impl Session {
         self.keys[grown_index] = SelectKey::NONE;
         self.packed[grown_index] = self.slots[grown_index].cluster.range.packed_masks();
         let new_packed = self.packed[grown_index];
+        if let Some(inc) = &mut self.incremental {
+            inc.select.set(grown_index, SelectKey::NONE);
+            let new_min = self.slots[grown_index].cluster.range.min_address();
+            if new_min != old_min {
+                inc.remove_min(old_min, grown_index);
+                inc.add_min(new_min, grown_index);
+            }
+        }
         drop(commit_span);
         if let Some(m) = &self.metrics {
             m.commit.record(phase_started.elapsed());
         }
         let phase_started = Instant::now();
         let mut subsume_span = maybe_span(trace, "engine", "subsume", self.root);
-        let before = self.slots.len();
-        // Compact `slots`, `packed`, and `keys` in one swap-based pass:
-        // the subset test reads only the packed mask array (four words
-        // per cluster), survivors swap down into place, and everything
-        // past the write cursor dies at truncate. The grown cluster's
-        // position is tracked through the compaction; it is the round's
-        // only stale cache (see `fill_caches` for why no other cache
-        // can be invalidated by this commit).
-        let mut write = 0;
-        let mut grown_new_index = grown_index;
-        for read in 0..self.slots.len() {
-            let keep = read == grown_index || !self.packed[read].is_subset(&new_packed);
-            if keep {
-                if read == grown_index {
-                    grown_new_index = write;
+        let (killed, grown_stale_index) = match &mut self.incremental {
+            // Min-address candidate enumeration: every cluster subsumed
+            // by the new range has its minimum address inside it, so the
+            // range query over the distinct live minima yields a complete
+            // candidate set — typically the handful of clusters actually
+            // subsumed plus the grown cluster itself — and each candidate
+            // is verified with the exact subset test. Survivors are
+            // untouched, so the round costs O(candidates), not
+            // O(clusters).
+            Some(inc) => {
+                let new_range = self.slots[grown_index].cluster.range.clone();
+                let mut candidates: Vec<u32> = Vec::new();
+                let slots_by_min = &inc.slots_by_min;
+                inc.min_tree.for_each_in_range(&new_range, |min| {
+                    if let Some(entries) = slots_by_min.get(&min.bits()) {
+                        candidates.extend_from_slice(entries);
+                    }
+                });
+                candidates.sort_unstable();
+                let mut killed = 0u64;
+                for &c in &candidates {
+                    let i = c as usize;
+                    if i == grown_index || !self.packed[i].is_subset(&new_packed) {
+                        continue;
+                    }
+                    debug_assert!(inc.live[i], "the min index holds only live slots");
+                    // Tombstone in place: the slot keeps its position so
+                    // the live-slot order (and with it the select draw
+                    // stream) matches scan mode's stable compaction.
+                    inc.live[i] = false;
+                    inc.live_count -= 1;
+                    self.keys[i] = SelectKey::NONE;
+                    inc.select.set(i, SelectKey::NONE);
+                    // Dead slots must not read as stale — `fill_caches`
+                    // asserts the stale list is exact.
+                    self.slots[i].cached = Cached::Exhausted;
+                    let min = self.slots[i].cluster.range.min_address();
+                    inc.remove_min(min, i);
+                    killed += 1;
                 }
-                if read != write {
-                    self.slots.swap(read, write);
-                    self.packed[write] = self.packed[read];
-                    self.keys[write] = self.keys[read];
-                }
-                write += 1;
+                (killed, grown_index)
             }
+            // Reference path: compact `slots`, `packed`, and `keys` in
+            // one swap-based pass. The subset test reads only the packed
+            // mask array (four words per cluster), survivors swap down
+            // into place (stably — relative order is preserved), and
+            // everything past the write cursor dies at truncate. The
+            // grown cluster's position is tracked through the
+            // compaction; it is the round's only stale cache (see
+            // `fill_caches` for why no other cache can be invalidated
+            // by this commit).
+            None => {
+                let before = self.slots.len();
+                let mut write = 0;
+                let mut grown_new_index = grown_index;
+                for read in 0..self.slots.len() {
+                    let keep = read == grown_index || !self.packed[read].is_subset(&new_packed);
+                    if keep {
+                        if read == grown_index {
+                            grown_new_index = write;
+                        }
+                        if read != write {
+                            self.slots.swap(read, write);
+                            self.packed[write] = self.packed[read];
+                            self.keys[write] = self.keys[read];
+                        }
+                        write += 1;
+                    }
+                }
+                self.slots.truncate(write);
+                self.packed.truncate(write);
+                self.keys.truncate(write);
+                ((before - write) as u64, grown_new_index)
+            }
+        };
+        // The grown cluster is the round's only new stale cache. The
+        // membership guard is defensive: `step` drains the stale list at
+        // the top of every round, so the push can never duplicate today,
+        // but a duplicated entry would recompute a growth twice and trip
+        // the exactness asserts in `fill_caches`.
+        if !self.stale_indices.contains(&grown_stale_index) {
+            self.stale_indices.push(grown_stale_index);
         }
-        self.slots.truncate(write);
-        self.packed.truncate(write);
-        self.keys.truncate(write);
-        self.stale_indices.push(grown_new_index);
-        self.subsumed += (before - self.slots.len()) as u64;
-        subsume_span.attr("subsumed", (before - self.slots.len()) as u64);
+        self.subsumed += killed;
+        subsume_span.attr("subsumed", killed);
         drop(subsume_span);
         if let Some(m) = &self.metrics {
             m.subsume.record(phase_started.elapsed());
@@ -963,14 +1209,17 @@ impl Session {
     /// # Panics
     ///
     /// If the session has not terminated (no [`Step::Done`] yet).
-    pub fn finish(self) -> Outcome {
+    pub fn finish(mut self) -> Outcome {
         let termination = self
             .done
             .expect("finish() requires a terminated session; step() until Step::Done");
+        let incremental = self.incremental.take();
         let clusters = self
             .slots
             .into_iter()
-            .map(|s| ClusterInfo {
+            .enumerate()
+            .filter(|&(i, _)| incremental.as_ref().is_none_or(|inc| inc.live[i]))
+            .map(|(_, s)| ClusterInfo {
                 range_size: s.cluster.range.size(),
                 seed_count: s.cluster.seed_count,
                 range: s.cluster.range,
@@ -1021,7 +1270,15 @@ impl Session {
 
     /// Live clusters at the current round boundary.
     pub fn cluster_count(&self) -> usize {
-        self.slots.len()
+        self.live_cluster_count()
+    }
+
+    /// Live clusters: in incremental mode dead slots are tombstoned in
+    /// place, so the slot count over-reports.
+    fn live_cluster_count(&self) -> usize {
+        self.incremental
+            .as_ref()
+            .map_or(self.slots.len(), |inc| inc.live_count)
     }
 }
 

@@ -53,6 +53,7 @@ mod cluster;
 mod draw;
 mod engine;
 mod outcome;
+mod select;
 
 pub use adaptive::{adaptive_scan, AdaptiveConfig, AdaptiveOutcome, RegionFate, RegionReport};
 pub use budget::{BudgetTracker, Charge};
@@ -138,6 +139,17 @@ pub struct Config {
     /// flag to prove it. Not part of the stable API.
     #[doc(hidden)]
     pub unfused_growth: bool,
+    /// Test hook: execute the per-round selection and subsumption phases
+    /// with the reference full-scan implementations instead of the
+    /// incremental structures (tournament select tree, min-address
+    /// subsumption index). Both paths must produce byte-identical targets,
+    /// growth order, RNG draw streams, deterministic metrics, and
+    /// checkpoints; differential tests flip this flag to prove it. The
+    /// flag is not part of the checkpoint fingerprint — a checkpoint
+    /// taken in either mode resumes in either mode. Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub scan_round: bool,
 }
 
 /// Test hook describing when growth evaluation should deliberately panic,
@@ -167,6 +179,7 @@ impl Default for Config {
             cancel: None,
             panic_injection: None,
             unfused_growth: false,
+            scan_round: false,
         }
     }
 }

@@ -1,0 +1,192 @@
+//! Incremental-vs-scan differentials: the incremental round structures
+//! (selection tournament tree, min-address subsumption index, event-driven
+//! cache refills) must be *observationally invisible*. Every test here
+//! runs the same workload twice — once with `Config::scan_round` (the
+//! reference full-scan implementations) and once with the incremental
+//! default — and asserts byte identity of everything the engine exposes:
+//! emitted targets, final clusters, cumulative stats, deterministic
+//! metrics, serialized checkpoints at every round boundary (which pins the
+//! RNG draw stream: the checkpoint embeds the RNG state), and
+//! cross-mode checkpoint/resume in both directions.
+
+use sixgen_addr::NybbleAddr;
+use sixgen_core::{ClusterMode, Config, EngineCheckpoint, Outcome, Session, SixGen, Step};
+use sixgen_obs::MetricsRegistry;
+use std::sync::Arc;
+
+/// Ten dense three-seed groups plus a handful of stragglers: long enough
+/// to exercise many rounds, tie-heavy enough that selection draws from
+/// the run RNG every round, and with enough subsumption (stragglers get
+/// swallowed by grown ranges) to exercise the subsumption index.
+fn seeds() -> Vec<NybbleAddr> {
+    let mut seeds: Vec<NybbleAddr> = (0..30u32)
+        .map(|i| {
+            let group = (i / 3 + 1) as u128 * 0x111;
+            let host = (i % 3) as u128;
+            NybbleAddr::from_bits(0x2001_0db8 << 96 | group << 4 | host)
+        })
+        .collect();
+    // Stragglers one nybble off a group member: subsumed soon after the
+    // group's range grows over their position.
+    seeds.extend(
+        (1..=5u128).map(|g| NybbleAddr::from_bits(0x2001_0db8 << 96 | (g * 0x111) << 4 | 8)),
+    );
+    seeds
+}
+
+fn config(mode: ClusterMode, scan_round: bool) -> Config {
+    Config {
+        mode,
+        budget: 400,
+        scan_round,
+        ..Config::default()
+    }
+}
+
+fn assert_same_outcome(scan: &Outcome, incremental: &Outcome, what: &str) {
+    assert_eq!(
+        scan.targets.as_slice(),
+        incremental.targets.as_slice(),
+        "{what}: targets diverged"
+    );
+    assert_eq!(
+        scan.clusters.len(),
+        incremental.clusters.len(),
+        "{what}: cluster count diverged"
+    );
+    for (s, i) in scan.clusters.iter().zip(&incremental.clusters) {
+        assert_eq!(s.range, i.range, "{what}: cluster range diverged");
+        assert_eq!(s.seed_count, i.seed_count, "{what}: seed count diverged");
+        assert_eq!(s.range_size, i.range_size, "{what}: range size diverged");
+    }
+    assert_eq!(scan.stats.rounds, incremental.stats.rounds, "{what}: rounds");
+    assert_eq!(
+        scan.stats.growths, incremental.stats.growths,
+        "{what}: growths"
+    );
+    assert_eq!(
+        scan.stats.subsumed, incremental.stats.subsumed,
+        "{what}: subsumed"
+    );
+    assert_eq!(
+        scan.stats.budget_used, incremental.stats.budget_used,
+        "{what}: budget used"
+    );
+    assert_eq!(
+        scan.stats.termination, incremental.stats.termination,
+        "{what}: termination"
+    );
+}
+
+/// Full-run differential: targets, clusters, stats, and deterministic
+/// metrics are byte-identical between the scan and incremental
+/// implementations, in both clustering modes.
+#[test]
+fn scan_and_incremental_outcomes_are_byte_identical() {
+    for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+        let scan_registry = MetricsRegistry::shared();
+        let scan = SixGen::new(
+            seeds(),
+            Config {
+                metrics: Some(Arc::clone(&scan_registry)),
+                ..config(mode, true)
+            },
+        )
+        .run();
+        let inc_registry = MetricsRegistry::shared();
+        let incremental = SixGen::new(
+            seeds(),
+            Config {
+                metrics: Some(Arc::clone(&inc_registry)),
+                ..config(mode, false)
+            },
+        )
+        .run();
+        assert!(scan.stats.rounds > 5, "workload must be multi-round");
+        assert!(scan.stats.subsumed > 0, "workload must exercise subsumption");
+        assert_same_outcome(&scan, &incremental, &format!("{mode:?}"));
+        assert_eq!(
+            scan_registry.deterministic_json(),
+            inc_registry.deterministic_json(),
+            "{mode:?}: deterministic metrics diverged"
+        );
+    }
+}
+
+/// Lockstep differential: step a scan session and an incremental session
+/// side by side and require byte-identical serialized checkpoints at
+/// *every* round boundary. The checkpoint embeds the RNG state, so this
+/// pins the tie-break draw streams round by round — any divergence in
+/// draw count or draw order between the tournament tree's era replay and
+/// the reference selection scan would surface at the first boundary it
+/// affects, not just in final outputs. The checkpoint's two accumulated
+/// timing fields are zeroed before comparison: they record real elapsed
+/// time, the one thing two separately-executing runs can never share.
+#[test]
+fn lockstep_checkpoints_are_byte_identical_every_round() {
+    fn timeless_bytes(session: &Session) -> Vec<u8> {
+        let mut checkpoint = session.checkpoint();
+        checkpoint.cpu_time = std::time::Duration::ZERO;
+        checkpoint.wall_time = std::time::Duration::ZERO;
+        checkpoint.to_bytes()
+    }
+    for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+        let mut scan = SixGen::new(seeds(), config(mode, true)).session();
+        let mut incremental = SixGen::new(seeds(), config(mode, false)).session();
+        let mut round = 0u64;
+        loop {
+            assert_eq!(
+                timeless_bytes(&scan),
+                timeless_bytes(&incremental),
+                "{mode:?}: checkpoints diverged at round boundary {round}"
+            );
+            let step = scan.step();
+            assert_eq!(
+                step,
+                incremental.step(),
+                "{mode:?}: step outcome diverged at round {round}"
+            );
+            round += 1;
+            if matches!(step, Step::Done(_)) {
+                break;
+            }
+        }
+        assert!(round > 5, "workload must be multi-round");
+    }
+}
+
+/// Cross-mode resume: a checkpoint taken under either implementation
+/// resumes under the other and still reproduces the uninterrupted run
+/// byte for byte. `scan_round` is deliberately not part of the resume
+/// fingerprint — the checkpoint format is implementation-agnostic, and
+/// the incremental structures rebuild deterministically from it.
+#[test]
+fn checkpoints_resume_across_implementations() {
+    for mode in [ClusterMode::Loose, ClusterMode::Tight] {
+        let baseline = SixGen::new(seeds(), config(mode, false)).run();
+        let total_rounds = baseline.stats.rounds;
+        assert!(total_rounds > 5, "workload must be multi-round");
+        // Both handover directions at every boundary: the resumed side
+        // must rebuild (or drop) the incremental state mid-run and land
+        // on the identical remaining trajectory.
+        for (from_scan, to_scan) in [(true, false), (false, true)] {
+            for k in (0..total_rounds).step_by(2) {
+                let mut session = SixGen::new(seeds(), config(mode, from_scan)).session();
+                for _ in 0..k {
+                    assert_eq!(session.step(), Step::Grew, "boundary {k} not reachable");
+                }
+                let bytes = session.checkpoint().to_bytes();
+                drop(session);
+                let checkpoint = EngineCheckpoint::from_bytes(&bytes).unwrap();
+                let resumed = Session::resume(checkpoint, config(mode, to_scan))
+                    .unwrap()
+                    .run();
+                assert_same_outcome(
+                    &baseline,
+                    &resumed,
+                    &format!("{mode:?} scan={from_scan}->{to_scan} @{k}"),
+                );
+            }
+        }
+    }
+}
